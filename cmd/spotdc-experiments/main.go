@@ -1,0 +1,73 @@
+// Command spotdc-experiments regenerates the SpotDC paper's tables and
+// figures. Run with no arguments to list experiment IDs, with IDs to run a
+// subset, or with -all for the full suite.
+//
+// Usage:
+//
+//	spotdc-experiments [-seed N] [-long-slots N] [-scale-slots N] [-all] [id ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spotdc/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "seed for all synthetic traces")
+	longSlots := flag.Int("long-slots", 0, "slots for extended runs (default 21600 = 30 days of 2-minute slots)")
+	scaleSlots := flag.Int("scale-slots", 0, "slots for the fig18 scaling runs (default 720)")
+	all := flag.Bool("all", false, "run every experiment")
+	outDir := flag.String("out", "", "also write each report to <dir>/<id>.txt")
+	flag.Parse()
+
+	opt := experiments.Options{Seed: *seed, LongSlots: *longSlots, ScaleSlots: *scaleSlots}
+	ids := flag.Args()
+	if *all {
+		ids = experiments.IDs()
+	}
+	if len(ids) == 0 {
+		fmt.Println("available experiments:")
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Printf("  %-8s %s\n", id, title)
+		}
+		return
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "spotdc-experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, id := range ids {
+		rep, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spotdc-experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := rep.Fprint(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "spotdc-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if *outDir != "" {
+			f, err := os.Create(filepath.Join(*outDir, id+".txt"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spotdc-experiments: %v\n", err)
+				os.Exit(1)
+			}
+			if err := rep.Fprint(f); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "spotdc-experiments: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "spotdc-experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

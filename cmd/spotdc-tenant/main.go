@@ -1,0 +1,62 @@
+// Command spotdc-tenant runs a tenant agent against a networked SpotDC
+// operator (see cmd/spotdc-operator): it registers its rack, submits a
+// four-parameter demand-function bid every slot, and reports the clearing
+// price and its grant.
+//
+// Usage:
+//
+//	spotdc-tenant -name Count-1 -rack O-1 [-connect 127.0.0.1:7070]
+//	              [-dmax 60] [-dmin 6] [-qmin 0.02] [-qmax 0.16]
+//	              [-slot-seconds 10] [-slots N]
+package main
+
+import (
+	"errors"
+	"flag"
+	"log"
+	"time"
+
+	"spotdc"
+)
+
+func main() {
+	connect := flag.String("connect", "127.0.0.1:7070", "operator address")
+	name := flag.String("name", "Count-1", "tenant name")
+	rack := flag.String("rack", "O-1", "rack ID to bid for")
+	dMax := flag.Float64("dmax", 60, "maximum spot demand (W)")
+	dMin := flag.Float64("dmin", 6, "minimum spot demand (W)")
+	qMin := flag.Float64("qmin", 0.02, "price at which demand is DMax ($/kWh)")
+	qMax := flag.Float64("qmax", 0.16, "maximum acceptable price ($/kWh)")
+	slotSeconds := flag.Int("slot-seconds", 10, "must match the operator's slot length")
+	slots := flag.Int("slots", 0, "stop after this many slots (0 = run forever)")
+	flag.Parse()
+
+	client, err := spotdc.DialMarket(*connect, *name, []string{*rack})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	log.Printf("spotdc-tenant %s: connected to %s, bidding for rack %s", *name, *connect, *rack)
+
+	slotDur := time.Duration(*slotSeconds) * time.Second
+	for slot := 0; *slots == 0 || slot < *slots; slot++ {
+		bid := spotdc.RackBid{Rack: *rack, DMax: *dMax, QMin: *qMin, DMin: *dMin, QMax: *qMax}
+		if err := client.SubmitBids(slot, []spotdc.RackBid{bid}); err != nil {
+			log.Fatalf("spotdc-tenant: submit slot %d: %v", slot, err)
+		}
+		price, grants, err := client.AwaitPrice(slot, slotDur+2*time.Second)
+		switch {
+		case errors.Is(err, spotdc.ErrNoPrice):
+			// Section III-C: communication loss defaults to no spot capacity.
+			log.Printf("slot %d: no price broadcast — running without spot capacity", slot)
+			continue
+		case err != nil:
+			log.Fatalf("spotdc-tenant: await slot %d: %v", slot, err)
+		}
+		total := 0.0
+		for _, g := range grants {
+			total += g.Watts
+		}
+		log.Printf("slot %d: price $%.3f/kWh, granted %.1f W of spot capacity", slot, price, total)
+	}
+}

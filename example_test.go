@@ -1,0 +1,99 @@
+package spotdc_test
+
+import (
+	"fmt"
+
+	"spotdc"
+)
+
+// The four-parameter piece-wise linear demand function of Fig. 3(a):
+// flat at DMax up to QMin, linear down to DMin at QMax, zero above.
+func ExampleLinearBid() {
+	bid := spotdc.LinearBid{DMax: 40, DMin: 10, QMin: 0.1, QMax: 0.4}
+	for _, price := range []float64{0.05, 0.25, 0.4, 0.5} {
+		fmt.Printf("demand at $%.2f/kWh: %.0f W\n", price, bid.Demand(price))
+	}
+	// Output:
+	// demand at $0.05/kWh: 40 W
+	// demand at $0.25/kWh: 25 W
+	// demand at $0.40/kWh: 10 W
+	// demand at $0.50/kWh: 0 W
+}
+
+// Clearing a two-rack market: the operator scans feasible prices and picks
+// the revenue maximum subject to rack, PDU and UPS limits.
+func ExampleMarket_Clear() {
+	cons := spotdc.Constraints{
+		RackHeadroom: []float64{60, 60},
+		RackPDU:      []int{0, 0},
+		PDUSpot:      []float64{80},
+		UPSSpot:      80,
+	}
+	market, err := spotdc.NewMarket(cons, spotdc.MarketOptions{PriceStep: 0.01})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := market.Clear([]spotdc.Bid{
+		{Rack: 0, Tenant: "sprint", Fn: spotdc.LinearBid{DMax: 40, DMin: 20, QMin: 0.2, QMax: 0.4}},
+		{Rack: 1, Tenant: "batch", Fn: spotdc.LinearBid{DMax: 60, DMin: 6, QMin: 0.02, QMax: 0.16}},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("price $%.2f/kWh\n", res.Price)
+	for _, a := range res.Allocations {
+		fmt.Printf("%s: %.0f W\n", a.Tenant, a.Watts)
+	}
+	// The revenue-maximizing price sits inside the sprinter's elastic range
+	// and prices the low-bidding batch tenant out — the Fig. 10 dynamic.
+	// Output:
+	// price $0.30/kWh
+	// sprint: 30 W
+	// batch: 0 W
+}
+
+// A multi-rack tenant bids a bundled demand vector: one LinearBid per rack
+// sharing the same price pair (Section III-B3).
+func ExampleBundleBids() {
+	bids, err := spotdc.BundleBids("web", []int{2, 5},
+		[]float64{50, 30}, // DMax per rack
+		[]float64{20, 10}, // DMin per rack
+		0.1, 0.4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, b := range bids {
+		fmt.Printf("rack %d: %.0f W at the midpoint price\n", b.Rack, b.Fn.Demand(0.25))
+	}
+	// Output:
+	// rack 2: 35 W at the midpoint price
+	// rack 5: 20 W at the midpoint price
+}
+
+// The owner-operated MaxPerf baseline allocates to the steepest gain
+// curves, no payments.
+func ExampleMaxPerf() {
+	cons := spotdc.Constraints{
+		RackHeadroom: []float64{50, 50},
+		RackPDU:      []int{0, 0},
+		PDUSpot:      []float64{60},
+		UPSSpot:      60,
+	}
+	allocs, err := spotdc.MaxPerf(cons, []spotdc.MaxPerfRequest{
+		{Rack: 0, MaxWatts: 50, Gain: func(w float64) float64 { return 0.004 * w }},
+		{Rack: 1, MaxWatts: 50, Gain: func(w float64) float64 { return 0.001 * w }},
+	}, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, a := range allocs {
+		fmt.Printf("rack %d: %.0f W\n", a.Rack, a.Watts)
+	}
+	// Output:
+	// rack 0: 50 W
+	// rack 1: 10 W
+}

@@ -1,0 +1,87 @@
+// Planning sweeps spot-capacity availability the way the paper's
+// sensitivity study does (Fig. 15): holding the tenants fixed, it varies
+// the operator's PDU/UPS oversubscription and reports how the extra
+// profit, the tenants' performance improvement, and the market price
+// respond. This is the analysis a colocation operator would run before
+// deciding how much spot capacity to offer.
+//
+//	go run ./examples/planning [-slots N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"spotdc"
+)
+
+func main() {
+	slots := flag.Int("slots", 3000, "2-minute slots per design point")
+	flag.Parse()
+
+	fmt.Println("capacity  avg spot    extra     tenant perf   median")
+	fmt.Println("scale     (pct subs)  profit    (vs capped)   price $/kWh")
+	for _, scale := range []float64{0.97, 1.0, 1.03, 1.06, 1.1} {
+		spot, capped, err := runPair(scale, *slots)
+		if err != nil {
+			log.Fatal(err)
+		}
+		subs := spot.Operator.Topology().TotalGuaranteed() + 500
+		availSum, n := 0.0, 0
+		for _, a := range spot.SpotAvailable {
+			availSum += a
+			n++
+		}
+		avgAvail := availSum / float64(n) / subs
+
+		// Mean performance ratio across tenants that needed spot capacity.
+		ratioSum, ratioN := 0.0, 0
+		for name, ts := range spot.Tenants {
+			base := capped.Tenants[name]
+			if ts.NeedSlots == 0 || base.PerfNeed.Mean() <= 0 {
+				continue
+			}
+			ratioSum += ts.PerfNeed.Mean() / base.PerfNeed.Mean()
+			ratioN++
+		}
+		perf := ratioSum / float64(ratioN)
+
+		med := medianOf(spot.Prices)
+		fmt.Printf("%-8.2f  %6.1f%%    %5.1f%%    %.2fx         %.3f\n",
+			scale, 100*avgAvail, 100*spot.Profit(500).ExtraProfitFraction, perf, med)
+	}
+}
+
+func runPair(scale float64, slots int) (spot, capped *spotdc.SimResult, err error) {
+	mk := func() (spotdc.Scenario, error) {
+		return spotdc.Testbed(spotdc.TestbedOptions{
+			Seed: 42, Slots: slots, CapacityScale: scale,
+		})
+	}
+	sc, err := mk()
+	if err != nil {
+		return nil, nil, err
+	}
+	if spot, err = spotdc.Run(sc, spotdc.RunOptions{Mode: spotdc.ModeSpotDC}); err != nil {
+		return nil, nil, err
+	}
+	if sc, err = mk(); err != nil {
+		return nil, nil, err
+	}
+	capped, err = spotdc.Run(sc, spotdc.RunOptions{Mode: spotdc.ModePowerCapped})
+	return spot, capped, err
+}
+
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	for i := 1; i < len(sorted); i++ { // insertion sort; the slice is small
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2]
+}

@@ -1,0 +1,111 @@
+// Protocol demonstrates the networked SpotDC deployment of Fig. 5: the
+// operator's market server and two remote tenants exchange HeartBeat, Bid
+// and Price messages as newline-delimited JSON over localhost TCP, and
+// three market slots clear end to end.
+//
+//	go run ./examples/protocol
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"spotdc"
+)
+
+func main() {
+	topo, err := spotdc.NewTopology(1370,
+		[]spotdc.PDU{{ID: "PDU#1", Capacity: 715}},
+		[]spotdc.Rack{
+			{ID: "S-1", Tenant: "Search-1", PDU: 0, Guaranteed: 145, SpotHeadroom: 60},
+			{ID: "O-1", Tenant: "Count-1", PDU: 0, Guaranteed: 125, SpotHeadroom: 60},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	op, err := spotdc.NewOperator(spotdc.OperatorConfig{
+		Topology:      topo,
+		MarketOptions: spotdc.MarketOptions{PriceStep: 0.001},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := spotdc.NewMarketServer("127.0.0.1:0", func(id string) (int, bool) {
+		return topo.RackByID(id)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("operator listening on %s\n\n", srv.Addr())
+
+	search, err := spotdc.DialMarket(srv.Addr(), "Search-1", []string{"S-1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer search.Close()
+	count, err := spotdc.DialMarket(srv.Addr(), "Count-1", []string{"O-1"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer count.Close()
+
+	reading := spotdc.Reading{
+		RackWatts:     []float64{120, 100},
+		OtherPDUWatts: []float64{190},
+	}
+	for slot := 0; slot < 3; slot++ {
+		// Tenants submit their four-parameter bids during the previous slot.
+		if err := search.SubmitBids(slot, []spotdc.RackBid{
+			{Rack: "S-1", DMax: 40, QMin: 0.18, DMin: 15, QMax: 0.45},
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if slot%2 == 0 { // the batch tenant only has backlog on even slots
+			if err := count.SubmitBids(slot, []spotdc.RackBid{
+				{Rack: "O-1", DMax: 60, QMin: 0.02, DMin: 6, QMax: 0.16},
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		awaitBids(srv, slot)
+
+		// The operator collects the slot's bids, clears, and broadcasts.
+		bids := srv.TakeBids(slot)
+		out, err := op.RunSlot(bids, reading, 2.0/60)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.Broadcast(slot, out.Result.Price, out.Result.Allocations,
+			func(i int) string { return topo.Racks[i].ID })
+
+		fmt.Printf("slot %d: %d bids, price $%.3f/kWh, sold %.1f W\n",
+			slot, len(bids), out.Result.Price, out.Result.TotalWatts)
+		for _, c := range []*spotdc.MarketClient{search, count} {
+			price, grants, err := c.AwaitPrice(slot, 2*time.Second)
+			if err == spotdc.ErrNoPrice {
+				fmt.Printf("  %-9s missed the broadcast: defaults to no spot capacity\n", c.Tenant())
+				continue
+			} else if err != nil {
+				log.Fatal(err)
+			}
+			total := 0.0
+			for _, g := range grants {
+				total += g.Watts
+			}
+			fmt.Printf("  %-9s sees price $%.3f and %.1f W of spot capacity\n",
+				c.Tenant(), price, total)
+		}
+	}
+	fmt.Printf("\ncumulative operator revenue: $%.6f\n", op.SpotRevenue())
+}
+
+// awaitBids gives the asynchronous submissions a moment to land; in a real
+// deployment the operator clears at the slot boundary (Fig. 6), which is
+// minutes after tenants bid.
+func awaitBids(srv *spotdc.MarketServer, slot int) {
+	time.Sleep(150 * time.Millisecond)
+	_ = slot
+}

@@ -1,0 +1,78 @@
+// Quickstart: one SpotDC market round through the public API.
+//
+// It builds the paper's scaled-down power hierarchy, has a sprinting and
+// an opportunistic tenant submit piece-wise linear demand-function bids,
+// clears the market at the revenue-maximizing uniform price, and prints
+// the resulting allocations and bill.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spotdc"
+)
+
+func main() {
+	// Two cluster PDUs under one UPS, all 5% oversubscribed (Table I).
+	topo, err := spotdc.NewTopology(1370,
+		[]spotdc.PDU{
+			{ID: "PDU#1", Capacity: 715},
+			{ID: "PDU#2", Capacity: 724},
+		},
+		[]spotdc.Rack{
+			{ID: "S-1", Tenant: "Search-1", PDU: 0, Guaranteed: 145, SpotHeadroom: 60},
+			{ID: "O-1", Tenant: "Count-1", PDU: 0, Guaranteed: 125, SpotHeadroom: 60},
+			{ID: "S-3", Tenant: "Search-2", PDU: 1, Guaranteed: 145, SpotHeadroom: 60},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	op, err := spotdc.NewOperator(spotdc.OperatorConfig{
+		Topology:      topo,
+		MarketOptions: spotdc.MarketOptions{PriceStep: 0.001},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The operator's routine rack-level monitoring: every rack below its
+	// reservation, plus non-participating load directly at each PDU.
+	reading := spotdc.Reading{
+		RackWatts:     []float64{120, 100, 125},
+		OtherPDUWatts: []float64{190, 200},
+	}
+
+	// Tenants bid the four solicited parameters per rack (Eqn. 5):
+	// (Dmax, qmin), (Dmin, qmax). The search tenant is under SLO pressure
+	// and bids high; the batch tenant never bids above the amortized
+	// guaranteed rate (~$0.16/kW·h).
+	bids := []spotdc.Bid{
+		{Rack: 0, Tenant: "Search-1", Fn: spotdc.LinearBid{DMax: 40, DMin: 15, QMin: 0.18, QMax: 0.45}},
+		{Rack: 1, Tenant: "Count-1", Fn: spotdc.LinearBid{DMax: 60, DMin: 6, QMin: 0.02, QMax: 0.16}},
+	}
+
+	out, err := op.RunSlot(bids, reading, 2.0/60) // one 2-minute slot
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("predicted spot capacity:")
+	for m, w := range out.Spot.PDUWatts {
+		fmt.Printf("  %-6s %7.1f W\n", topo.PDUs[m].ID, w)
+	}
+	fmt.Printf("  UPS    %7.1f W\n\n", out.Spot.UPSWatts)
+
+	fmt.Printf("clearing price: $%.3f/kW·h\n", out.Result.Price)
+	fmt.Printf("spot capacity sold: %.1f W\n\n", out.Result.TotalWatts)
+	for _, a := range out.Result.Allocations {
+		fmt.Printf("  %-10s rack %-4s granted %5.1f W\n",
+			a.Tenant, topo.Racks[a.Rack].ID, a.Watts)
+	}
+	fmt.Printf("\noperator revenue this slot: $%.6f\n", out.RevenueThisSlot)
+	for _, tenantName := range []string{"Search-1", "Count-1"} {
+		fmt.Printf("  %-10s pays $%.6f\n", tenantName, op.PaymentOf(tenantName))
+	}
+}

@@ -1,0 +1,79 @@
+// Testbed replays the paper's 20-minute testbed experiment (Section V-A,
+// Figs. 10 and 11): the Table I data center runs ten 2-minute slots with a
+// deliberately volatile background-power trace; sprinting tenants bid when
+// bursts threaten their 100 ms SLO and opportunistic tenants bid while
+// they have backlog.
+//
+//	go run ./examples/testbed [-seed N] [-slots N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"spotdc"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "trace seed")
+	slots := flag.Int("slots", 10, "number of 2-minute slots")
+	flag.Parse()
+
+	sc, err := spotdc.Testbed(spotdc.TestbedOptions{
+		Seed:                *seed,
+		Slots:               *slots,
+		OtherVolatility:     0.08,    // the paper's synthetic high-volatility trace
+		SprintBurstFraction: 0.5,     // a high-traffic period, as in the paper's demo
+		SprintPhase:         math.Pi, // start at the daily traffic peak
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := spotdc.Run(sc, spotdc.RunOptions{Mode: spotdc.ModeSpotDC, Record: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	capped, err := rerunCapped(*seed, *slots)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("slot  time   spot-avail  spot-sold   price      Search-1 p99ish  Count-1 MB/s")
+	for s := 0; s < res.Slots; s++ {
+		search := res.TenantTraces["Search-1"][s]
+		lat := "-"
+		if search > 0 {
+			lat = fmt.Sprintf("%.0f ms", 1000/search)
+		}
+		fmt.Printf("%3d  %4ds   %7.1f W  %7.1f W  $%.3f/kWh   %-10s      %6.1f\n",
+			s, s*res.SlotSeconds, res.SpotAvailable[s], res.SpotSold[s],
+			res.PriceSeries[s], lat, res.TenantTraces["Count-1"][s])
+	}
+
+	fmt.Println("\ntenant summary (vs PowerCapped):")
+	for _, name := range []string{"Search-1", "Web", "Search-2", "Count-1", "Graph-1", "Count-2", "Sort", "Graph-2"} {
+		ts := res.Tenants[name]
+		base := capped.Tenants[name]
+		perf := "-"
+		if ts.NeedSlots > 0 && base.PerfNeed.Mean() > 0 {
+			perf = fmt.Sprintf("%.2fx", ts.PerfNeed.Mean()/base.PerfNeed.Mean())
+		}
+		fmt.Printf("  %-9s class=%-13s need-slots=%2d  SLO-violations=%d (capped: %d)  perf=%s  paid=$%.5f\n",
+			name, ts.Class, ts.NeedSlots, ts.SLOViolations, base.SLOViolations, perf, ts.Payment)
+	}
+	fmt.Printf("\noperator spot revenue: $%.5f over %.1f minutes; emergencies: %d\n",
+		res.SpotRevenue, res.Hours()*60, res.EmergencySlots)
+}
+
+func rerunCapped(seed int64, slots int) (*spotdc.SimResult, error) {
+	sc, err := spotdc.Testbed(spotdc.TestbedOptions{
+		Seed: seed, Slots: slots, OtherVolatility: 0.08,
+		SprintBurstFraction: 0.5, SprintPhase: math.Pi,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return spotdc.Run(sc, spotdc.RunOptions{Mode: spotdc.ModePowerCapped, Record: true})
+}

@@ -1,0 +1,3 @@
+module spotdc
+
+go 1.22

@@ -1,0 +1,227 @@
+// Package billing turns SpotDC's per-slot market outcomes into tenant
+// invoices: guaranteed-capacity subscription, metered energy, and spot
+// capacity line items. In a colocation business this is the surface
+// tenants actually see; the paper's cost comparisons (Fig. 12(a)) are
+// ratios of exactly these totals.
+package billing
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"spotdc/internal/operator"
+	"spotdc/internal/sim"
+)
+
+// ErrBilling reports invalid billing input.
+var ErrBilling = errors.New("billing: invalid input")
+
+// Ledger accumulates slot-level usage records per tenant. It is the
+// streaming counterpart of sim's aggregated TenantStats, suitable for the
+// live operator loop.
+type Ledger struct {
+	pricing operator.Pricing
+	tenants map[string]*usage
+}
+
+type usage struct {
+	reservedWatts float64
+	hours         float64
+	energyKWh     float64
+	spotKWh       float64
+	spotPaid      float64
+	spotSlots     int
+	peakSpotWatts float64
+}
+
+// NewLedger builds a ledger under the given pricing.
+func NewLedger(pricing operator.Pricing) (*Ledger, error) {
+	if err := pricing.Validate(); err != nil {
+		return nil, err
+	}
+	return &Ledger{pricing: pricing, tenants: make(map[string]*usage)}, nil
+}
+
+// Register declares a tenant and its reserved capacity; records for
+// unregistered tenants are rejected so typos surface early.
+func (l *Ledger) Register(tenant string, reservedWatts float64) error {
+	if tenant == "" {
+		return fmt.Errorf("%w: empty tenant name", ErrBilling)
+	}
+	if reservedWatts < 0 {
+		return fmt.Errorf("%w: negative reservation", ErrBilling)
+	}
+	if _, dup := l.tenants[tenant]; dup {
+		return fmt.Errorf("%w: tenant %q already registered", ErrBilling, tenant)
+	}
+	l.tenants[tenant] = &usage{reservedWatts: reservedWatts}
+	return nil
+}
+
+// RecordSlot adds one slot of usage: the tenant's total draw, its spot
+// grant, and the slot's clearing price.
+func (l *Ledger) RecordSlot(tenant string, drawWatts, spotGrantWatts, price, slotHours float64) error {
+	u, ok := l.tenants[tenant]
+	if !ok {
+		return fmt.Errorf("%w: unknown tenant %q", ErrBilling, tenant)
+	}
+	if drawWatts < 0 || spotGrantWatts < 0 || price < 0 || slotHours <= 0 {
+		return fmt.Errorf("%w: negative usage for %q", ErrBilling, tenant)
+	}
+	u.hours += slotHours
+	u.energyKWh += drawWatts / 1000 * slotHours
+	u.spotKWh += spotGrantWatts / 1000 * slotHours
+	u.spotPaid += price * spotGrantWatts / 1000 * slotHours
+	if spotGrantWatts > 0 {
+		u.spotSlots++
+		if spotGrantWatts > u.peakSpotWatts {
+			u.peakSpotWatts = spotGrantWatts
+		}
+	}
+	return nil
+}
+
+// LineItem is one row of an invoice.
+type LineItem struct {
+	// Description labels the charge.
+	Description string `json:"description"`
+	// Quantity and Unit describe what is billed (kW-months, kWh, ...).
+	Quantity float64 `json:"quantity"`
+	Unit     string  `json:"unit"`
+	// Rate is the unit price in dollars; Amount the extended total.
+	Rate   float64 `json:"rate"`
+	Amount float64 `json:"amount"`
+}
+
+// Invoice is one tenant's bill for a period.
+type Invoice struct {
+	// Tenant names the payer.
+	Tenant string `json:"tenant"`
+	// PeriodHours is the billed duration.
+	PeriodHours float64 `json:"period_hours"`
+	// Items lists the charges.
+	Items []LineItem `json:"items"`
+	// Total is the sum of item amounts.
+	Total float64 `json:"total"`
+	// SpotShare is the fraction of the total attributable to spot capacity
+	// — the paper's "marginal cost" claim, per tenant.
+	SpotShare float64 `json:"spot_share"`
+}
+
+// InvoiceOf renders one tenant's invoice from the ledger.
+func (l *Ledger) InvoiceOf(tenant string) (Invoice, error) {
+	u, ok := l.tenants[tenant]
+	if !ok {
+		return Invoice{}, fmt.Errorf("%w: unknown tenant %q", ErrBilling, tenant)
+	}
+	return buildInvoice(l.pricing, tenant, u), nil
+}
+
+// Invoices renders every registered tenant's invoice, sorted by name.
+func (l *Ledger) Invoices() []Invoice {
+	names := make([]string, 0, len(l.tenants))
+	for n := range l.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Invoice, 0, len(names))
+	for _, n := range names {
+		out = append(out, buildInvoice(l.pricing, n, l.tenants[n]))
+	}
+	return out
+}
+
+func buildInvoice(p operator.Pricing, tenant string, u *usage) Invoice {
+	inv := Invoice{Tenant: tenant, PeriodHours: u.hours}
+	kwMonths := u.reservedWatts / 1000 * u.hours / operator.HoursPerMonth
+	sub := kwMonths * p.GuaranteedPerKWMonth
+	inv.Items = append(inv.Items, LineItem{
+		Description: "guaranteed capacity subscription",
+		Quantity:    kwMonths, Unit: "kW-month",
+		Rate: p.GuaranteedPerKWMonth, Amount: sub,
+	})
+	energy := u.energyKWh * p.EnergyPerKWh
+	inv.Items = append(inv.Items, LineItem{
+		Description: "metered energy",
+		Quantity:    u.energyKWh, Unit: "kWh",
+		Rate: p.EnergyPerKWh, Amount: energy,
+	})
+	spotRate := 0.0
+	if u.spotKWh > 0 {
+		spotRate = u.spotPaid / u.spotKWh
+	}
+	inv.Items = append(inv.Items, LineItem{
+		Description: fmt.Sprintf("spot capacity (%d slots, peak %.0f W)", u.spotSlots, u.peakSpotWatts),
+		Quantity:    u.spotKWh, Unit: "kWh",
+		Rate: spotRate, Amount: u.spotPaid,
+	})
+	inv.Total = sub + energy + u.spotPaid
+	if inv.Total > 0 {
+		inv.SpotShare = u.spotPaid / inv.Total
+	}
+	return inv
+}
+
+// FromSimResult builds a ledger-equivalent set of invoices directly from a
+// finished simulation run.
+func FromSimResult(res *sim.Result, pricing operator.Pricing) ([]Invoice, error) {
+	if res == nil {
+		return nil, fmt.Errorf("%w: nil result", ErrBilling)
+	}
+	if err := pricing.Validate(); err != nil {
+		return nil, err
+	}
+	l, err := NewLedger(pricing)
+	if err != nil {
+		return nil, err
+	}
+	for name, ts := range res.Tenants {
+		if err := l.Register(name, ts.Reserved); err != nil {
+			return nil, err
+		}
+		u := l.tenants[name]
+		// The simulator aggregates; transplant its totals.
+		u.hours = res.Hours()
+		u.energyKWh = ts.EnergyKWh
+		u.spotKWh = ts.SpotKWh
+		u.spotPaid = ts.Payment
+		u.spotSlots = ts.GrantSlots
+		u.peakSpotWatts = ts.GrantFrac.Max() * ts.Reserved
+	}
+	return l.Invoices(), nil
+}
+
+// Fprint renders an invoice as aligned text.
+func (inv Invoice) Fprint(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "INVOICE  %s  (%.1f h ≈ %s)\n", inv.Tenant, inv.PeriodHours,
+		(time.Duration(inv.PeriodHours * float64(time.Hour))).Round(time.Minute))
+	for _, it := range inv.Items {
+		fmt.Fprintf(bw, "  %-48s %10.4f %-9s @ %10.4f  $%10.6f\n",
+			it.Description, it.Quantity, it.Unit, it.Rate, it.Amount)
+	}
+	fmt.Fprintf(bw, "  %-48s %36s  $%10.6f  (spot: %.2f%%)\n", "TOTAL", "", inv.Total, 100*inv.SpotShare)
+	return bw.Flush()
+}
+
+// WriteCSV emits the invoices as a flat CSV (tenant, item, quantity, unit,
+// rate, amount).
+func WriteCSV(w io.Writer, invoices []Invoice) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "tenant,item,quantity,unit,rate,amount"); err != nil {
+		return err
+	}
+	for _, inv := range invoices {
+		for _, it := range inv.Items {
+			if _, err := fmt.Fprintf(bw, "%s,%q,%.6f,%s,%.6f,%.6f\n",
+				inv.Tenant, it.Description, it.Quantity, it.Unit, it.Rate, it.Amount); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

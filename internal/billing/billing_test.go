@@ -1,0 +1,212 @@
+package billing
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"spotdc/internal/operator"
+	"spotdc/internal/sim"
+)
+
+func newLedger(t *testing.T) *Ledger {
+	t.Helper()
+	l, err := NewLedger(operator.DefaultPricing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewLedgerValidatesPricing(t *testing.T) {
+	if _, err := NewLedger(operator.Pricing{GuaranteedPerKWMonth: -1, InfraLifetimeYears: 1, RackLifetimeYears: 1}); err == nil {
+		t.Error("bad pricing accepted")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	l := newLedger(t)
+	if err := l.Register("", 100); !errors.Is(err, ErrBilling) {
+		t.Error("empty name accepted")
+	}
+	if err := l.Register("a", -1); !errors.Is(err, ErrBilling) {
+		t.Error("negative reservation accepted")
+	}
+	if err := l.Register("a", 145); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Register("a", 145); !errors.Is(err, ErrBilling) {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestRecordSlotValidation(t *testing.T) {
+	l := newLedger(t)
+	if err := l.RecordSlot("ghost", 100, 0, 0, 1); !errors.Is(err, ErrBilling) {
+		t.Error("unknown tenant accepted")
+	}
+	if err := l.Register("a", 145); err != nil {
+		t.Fatal(err)
+	}
+	bad := [][4]float64{{-1, 0, 0, 1}, {1, -1, 0, 1}, {1, 0, -1, 1}, {1, 0, 0, 0}}
+	for i, b := range bad {
+		if err := l.RecordSlot("a", b[0], b[1], b[2], b[3]); !errors.Is(err, ErrBilling) {
+			t.Errorf("bad record %d accepted", i)
+		}
+	}
+}
+
+func TestInvoiceArithmetic(t *testing.T) {
+	l := newLedger(t)
+	if err := l.Register("Search-1", 145); err != nil {
+		t.Fatal(err)
+	}
+	// 30 slots of 2 minutes = 1 hour: draw 130 W, two slots with 30 W spot
+	// at $0.2/kWh.
+	slotH := 2.0 / 60
+	for i := 0; i < 30; i++ {
+		spot, price := 0.0, 0.0
+		if i < 2 {
+			spot, price = 30, 0.2
+		}
+		if err := l.RecordSlot("Search-1", 130+spot, spot, price, slotH); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inv, err := l.InvoiceOf("Search-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(inv.PeriodHours-1) > 1e-9 {
+		t.Errorf("period = %v h", inv.PeriodHours)
+	}
+	if len(inv.Items) != 3 {
+		t.Fatalf("items = %d", len(inv.Items))
+	}
+	p := operator.DefaultPricing()
+	wantSub := 0.145 * 1 / operator.HoursPerMonth * p.GuaranteedPerKWMonth
+	if math.Abs(inv.Items[0].Amount-wantSub) > 1e-9 {
+		t.Errorf("subscription = %v, want %v", inv.Items[0].Amount, wantSub)
+	}
+	wantEnergy := (0.130*1 + 0.030*2*slotH) * p.EnergyPerKWh
+	if math.Abs(inv.Items[1].Amount-wantEnergy) > 1e-9 {
+		t.Errorf("energy = %v, want %v", inv.Items[1].Amount, wantEnergy)
+	}
+	wantSpot := 0.2 * 0.030 * 2 * slotH
+	if math.Abs(inv.Items[2].Amount-wantSpot) > 1e-9 {
+		t.Errorf("spot = %v, want %v", inv.Items[2].Amount, wantSpot)
+	}
+	if math.Abs(inv.Total-(wantSub+wantEnergy+wantSpot)) > 1e-9 {
+		t.Errorf("total = %v", inv.Total)
+	}
+	if inv.SpotShare <= 0 || inv.SpotShare > 0.05 {
+		t.Errorf("spot share = %v, want small positive", inv.SpotShare)
+	}
+	// Effective spot rate recovers the clearing price.
+	if math.Abs(inv.Items[2].Rate-0.2) > 1e-9 {
+		t.Errorf("spot rate = %v, want 0.2", inv.Items[2].Rate)
+	}
+	if _, err := l.InvoiceOf("ghost"); !errors.Is(err, ErrBilling) {
+		t.Error("unknown invoice accepted")
+	}
+}
+
+func TestInvoicesSortedAndPrintable(t *testing.T) {
+	l := newLedger(t)
+	for _, n := range []string{"zeta", "alpha"} {
+		if err := l.Register(n, 100); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.RecordSlot(n, 90, 10, 0.1, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	invs := l.Invoices()
+	if len(invs) != 2 || invs[0].Tenant != "alpha" || invs[1].Tenant != "zeta" {
+		t.Fatalf("order: %+v", invs)
+	}
+	var buf bytes.Buffer
+	if err := invs[0].Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"INVOICE  alpha", "guaranteed capacity subscription", "metered energy", "spot capacity", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printout missing %q:\n%s", want, out)
+		}
+	}
+	// JSON marshals cleanly.
+	b, err := json.Marshal(invs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"tenant":"alpha"`) {
+		t.Errorf("json: %s", b)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	l := newLedger(t)
+	if err := l.Register("a", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RecordSlot("a", 90, 10, 0.1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, l.Invoices()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // header + 3 items
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "tenant,item,quantity,unit,rate,amount" {
+		t.Errorf("header = %s", lines[0])
+	}
+}
+
+func TestFromSimResult(t *testing.T) {
+	sc, err := sim.Testbed(sim.TestbedOptions{Seed: 5, Slots: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sc, sim.RunOptions{Mode: sim.ModeSpotDC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pricing := operator.DefaultPricing()
+	invs, err := FromSimResult(res, pricing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) != 8 {
+		t.Fatalf("invoices = %d", len(invs))
+	}
+	totalSpot := 0.0
+	for _, inv := range invs {
+		if inv.Total <= 0 {
+			t.Errorf("%s: zero total", inv.Tenant)
+		}
+		totalSpot += inv.Items[2].Amount
+		// Invoice totals must reconcile with the simulator's own cost
+		// accounting (the Fig. 12(a) numbers).
+		want, err := sim.TenantCost(res, pricing, inv.Tenant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(inv.Total-want) > 1e-6*math.Max(1, want) {
+			t.Errorf("%s: invoice %v != sim cost %v", inv.Tenant, inv.Total, want)
+		}
+	}
+	// Sum of spot line items reconciles with operator revenue.
+	if math.Abs(totalSpot-res.SpotRevenue) > 1e-9 {
+		t.Errorf("spot items %v != operator revenue %v", totalSpot, res.SpotRevenue)
+	}
+	if _, err := FromSimResult(nil, pricing); !errors.Is(err, ErrBilling) {
+		t.Error("nil result accepted")
+	}
+}

@@ -1,0 +1,31 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the configuration parser: it must never panic, and
+// any configuration it accepts must build a runnable scenario or fail
+// with a proper error (not a panic).
+func FuzzRead(f *testing.F) {
+	f.Add(`{"kind":"testbed","slots":10}`)
+	f.Add(`{"kind":"scaled","slots":5,"tenants":8}`)
+	f.Add(`{"kind":"custom","custom":{"slots":1,"ups_capacity":100,"pdus":[{"id":"p","capacity":50}],"racks":[{"id":"r","pdu":0,"guaranteed":20,"headroom":10}],"tenants":[{"name":"t","class":"opportunistic","rack":"r","workload":"graph","qmin":0.01,"qmax":0.1,"backlog":{"active_fraction":0.5}}]}}`)
+	f.Add(`{"kind":"bogus"}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, input string) {
+		cfg, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Accepted configs must be buildable or fail cleanly.
+		if _, err := cfg.Build(); err != nil {
+			return
+		}
+		if _, err := cfg.RunMode(); err != nil {
+			t.Fatalf("built config has invalid mode: %v", err)
+		}
+	})
+}

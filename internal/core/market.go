@@ -1,0 +1,457 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrConstraints reports inconsistent market constraints.
+var ErrConstraints = errors.New("core: invalid constraints")
+
+// Constraints carries the multi-level capacity limits of Eqns. (2)–(4) for
+// one clearing round. Rack arrays are indexed by rack index; PDUSpot by PDU
+// index.
+type Constraints struct {
+	// RackHeadroom is P_r^R: the maximum spot capacity each rack's physical
+	// PDU supports (Eqn. 2).
+	RackHeadroom []float64
+	// RackPDU maps each rack to its feeding PDU.
+	RackPDU []int
+	// PDUSpot is P_m(t): the available spot capacity at each PDU (Eqn. 3).
+	PDUSpot []float64
+	// UPSSpot is P_o(t): the available spot capacity at the UPS (Eqn. 4).
+	UPSSpot float64
+}
+
+// Validate checks internal consistency.
+func (c Constraints) Validate() error {
+	if len(c.RackHeadroom) != len(c.RackPDU) {
+		return fmt.Errorf("%w: %d headrooms but %d rack-PDU entries",
+			ErrConstraints, len(c.RackHeadroom), len(c.RackPDU))
+	}
+	for r, m := range c.RackPDU {
+		if m < 0 || m >= len(c.PDUSpot) {
+			return fmt.Errorf("%w: rack %d references PDU %d of %d", ErrConstraints, r, m, len(c.PDUSpot))
+		}
+		if c.RackHeadroom[r] < 0 {
+			return fmt.Errorf("%w: rack %d headroom %v negative", ErrConstraints, r, c.RackHeadroom[r])
+		}
+	}
+	for m, p := range c.PDUSpot {
+		if p < 0 {
+			return fmt.Errorf("%w: PDU %d spot %v negative", ErrConstraints, m, p)
+		}
+	}
+	if c.UPSSpot < 0 {
+		return fmt.Errorf("%w: UPS spot %v negative", ErrConstraints, c.UPSSpot)
+	}
+	return nil
+}
+
+// Options tunes the clearing-price search.
+type Options struct {
+	// PriceStep is the scan granularity in $/kW·h. The paper evaluates
+	// steps of 0.1 and 1 cents/kW (Fig. 7(b)). Default 0.001 $/kW·h.
+	PriceStep float64
+	// ReservePrice is the price floor; the operator can set it to recoup
+	// metered-energy costs. Default 0.
+	ReservePrice float64
+	// Ration selects best-effort proportional rationing: instead of
+	// requiring the uniform price to make every PDU's demand feasible
+	// (which at scale lets the single most congested PDU floor the price
+	// for the whole data center), allocations on an over-demanded PDU (or
+	// UPS) are scaled down proportionally. Spot capacity is explicitly
+	// best-effort in the paper, and the resulting allocation still
+	// satisfies Eqns. (2)–(4). See DESIGN.md for this design choice.
+	Ration bool
+}
+
+const defaultPriceStep = 0.001
+
+func (o Options) step() float64 {
+	if o.PriceStep <= 0 {
+		return defaultPriceStep
+	}
+	return o.PriceStep
+}
+
+// Allocation records the spot capacity granted to one rack.
+type Allocation struct {
+	Rack   int
+	Tenant string
+	// Watts is the granted spot capacity, already clamped to the rack
+	// headroom P_r^R.
+	Watts float64
+}
+
+// Result is the outcome of one market clearing.
+type Result struct {
+	// Price is the uniform clearing price in $/kW·h.
+	Price float64
+	// Allocations lists the per-rack grants (one per bid, zero-watt grants
+	// included so callers can observe priced-out racks).
+	Allocations []Allocation
+	// TotalWatts is the total spot capacity sold.
+	TotalWatts float64
+	// RevenueRate is the operator's revenue rate in $/h at this price
+	// (Price × TotalWatts/1000). Multiply by the slot length in hours for
+	// the per-slot payment.
+	RevenueRate float64
+	// Evaluations counts the candidate prices examined, a proxy for
+	// clearing cost reported alongside Fig. 7(b).
+	Evaluations int
+}
+
+// Market clears spot capacity for a fixed topology, reusing scratch buffers
+// across slots. It is not safe for concurrent use; create one per goroutine.
+type Market struct {
+	cons Constraints
+	opts Options
+	// extras holds the optional Section III-A constraints (heat density,
+	// phase balance); nil when unused.
+	extras *Extras
+	// scratch per-PDU accumulation buffer.
+	pduLoad []float64
+}
+
+// NewMarket validates the constraints and builds a market. The constraints'
+// PDUSpot and UPSSpot may be updated per slot via SetSpot.
+func NewMarket(cons Constraints, opts Options) (*Market, error) {
+	if err := cons.Validate(); err != nil {
+		return nil, err
+	}
+	cons.RackHeadroom = append([]float64(nil), cons.RackHeadroom...)
+	cons.RackPDU = append([]int(nil), cons.RackPDU...)
+	cons.PDUSpot = append([]float64(nil), cons.PDUSpot...)
+	return &Market{
+		cons:    cons,
+		opts:    opts,
+		pduLoad: make([]float64, len(cons.PDUSpot)),
+	}, nil
+}
+
+// SetSpot updates the per-slot available spot capacity.
+func (m *Market) SetSpot(pduSpot []float64, upsSpot float64) error {
+	if len(pduSpot) != len(m.cons.PDUSpot) {
+		return fmt.Errorf("%w: %d PDU spot values for %d PDUs", ErrConstraints, len(pduSpot), len(m.cons.PDUSpot))
+	}
+	for i, p := range pduSpot {
+		if p < 0 {
+			return fmt.Errorf("%w: PDU %d spot %v negative", ErrConstraints, i, p)
+		}
+		m.cons.PDUSpot[i] = p
+	}
+	if upsSpot < 0 {
+		return fmt.Errorf("%w: UPS spot %v negative", ErrConstraints, upsSpot)
+	}
+	m.cons.UPSSpot = upsSpot
+	return nil
+}
+
+// Constraints returns a copy of the current constraints.
+func (m *Market) Constraints() Constraints {
+	return Constraints{
+		RackHeadroom: append([]float64(nil), m.cons.RackHeadroom...),
+		RackPDU:      append([]int(nil), m.cons.RackPDU...),
+		PDUSpot:      append([]float64(nil), m.cons.PDUSpot...),
+		UPSSpot:      m.cons.UPSSpot,
+	}
+}
+
+// servedAt fills m.pduLoad with the per-PDU served demand at the given
+// price (each rack clamped to its headroom) and returns the total.
+func (m *Market) servedAt(bids []Bid, price float64) float64 {
+	for i := range m.pduLoad {
+		m.pduLoad[i] = 0
+	}
+	total := 0.0
+	for _, b := range bids {
+		d := b.Fn.Demand(price)
+		if hr := m.cons.RackHeadroom[b.Rack]; d > hr {
+			d = hr
+		}
+		if d <= 0 {
+			continue
+		}
+		m.pduLoad[m.cons.RackPDU[b.Rack]] += d
+		total += d
+	}
+	return total
+}
+
+const feasEps = 1e-9
+
+// rationedAt returns the total watts served at the given price under
+// proportional rationing: each rack's demand is clamped to its headroom,
+// each over-demanded PDU's load is scaled to its spot capacity, and the
+// grand total is capped at the UPS spot.
+func (m *Market) rationedAt(bids []Bid, price float64) float64 {
+	m.servedAt(bids, price)
+	total := 0.0
+	for i, load := range m.pduLoad {
+		if load > m.cons.PDUSpot[i] {
+			load = m.cons.PDUSpot[i]
+		}
+		total += load
+	}
+	if total > m.cons.UPSSpot {
+		total = m.cons.UPSSpot
+	}
+	return total
+}
+
+// rationedAllocations materializes the per-rack grants at a price under
+// proportional rationing.
+func (m *Market) rationedAllocations(bids []Bid, price float64) ([]Allocation, float64) {
+	m.servedAt(bids, price)
+	pduScale := make([]float64, len(m.pduLoad))
+	total := 0.0
+	for i, load := range m.pduLoad {
+		pduScale[i] = 1
+		if load > m.cons.PDUSpot[i] && load > 0 {
+			pduScale[i] = m.cons.PDUSpot[i] / load
+		}
+		total += load * pduScale[i]
+	}
+	upsScale := 1.0
+	if total > m.cons.UPSSpot && total > 0 {
+		upsScale = m.cons.UPSSpot / total
+		total = m.cons.UPSSpot
+	}
+	allocs := make([]Allocation, len(bids))
+	for i, b := range bids {
+		d := b.Fn.Demand(price)
+		if hr := m.cons.RackHeadroom[b.Rack]; d > hr {
+			d = hr
+		}
+		if d < 0 {
+			d = 0
+		}
+		d *= pduScale[m.cons.RackPDU[b.Rack]] * upsScale
+		allocs[i] = Allocation{Rack: b.Rack, Tenant: b.Tenant, Watts: d}
+	}
+	return allocs, total
+}
+
+// feasibleAt reports whether the served demand at price fits every PDU and
+// the UPS. Because demand is non-increasing in price, feasibility is
+// monotone: feasible at q implies feasible at any q' ≥ q.
+func (m *Market) feasibleAt(bids []Bid, price float64) bool {
+	total := m.servedAt(bids, price)
+	if total > m.cons.UPSSpot+feasEps {
+		return false
+	}
+	for i, load := range m.pduLoad {
+		if load > m.cons.PDUSpot[i]+feasEps {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear runs the market: it finds the uniform price maximizing the
+// operator's revenue q·ΣD_r(q) (Eqn. 1) over feasible prices, scanning with
+// the configured step exactly as Section III-C's "simple search over the
+// feasible price range". Bids referencing out-of-range racks are rejected.
+func (m *Market) Clear(bids []Bid) (Result, error) {
+	for _, b := range bids {
+		if b.Rack < 0 || b.Rack >= len(m.cons.RackHeadroom) {
+			return Result{}, fmt.Errorf("%w: bid references rack %d of %d", ErrConstraints, b.Rack, len(m.cons.RackHeadroom))
+		}
+		if b.Fn == nil {
+			return Result{}, fmt.Errorf("%w: bid for rack %d has nil demand function", ErrBid, b.Rack)
+		}
+	}
+	floor := m.opts.ReservePrice
+	if floor < 0 {
+		floor = 0
+	}
+	res := Result{Price: floor}
+	if len(bids) == 0 {
+		return res, nil
+	}
+	// The revenue is zero above every bid's maximum price; cap the scan.
+	hi := floor
+	for _, b := range bids {
+		if p := b.Fn.MaxPrice(); p > hi {
+			hi = p
+		}
+	}
+	step := m.opts.step()
+
+	lo := floor
+	evals := 0
+	if !m.opts.Ration {
+		// Feasibility is monotone in price, so binary-search the lowest
+		// feasible price to step resolution, then scan only feasible
+		// prices.
+		if !m.feasibleAt(bids, lo) {
+			evals++
+			// Demand is zero (hence trivially feasible) just above hi.
+			searchLo, searchHi := lo, hi+step
+			for searchHi-searchLo > step/4 {
+				mid := (searchLo + searchHi) / 2
+				evals++
+				if m.feasibleAt(bids, mid) {
+					searchHi = mid
+				} else {
+					searchLo = mid
+				}
+			}
+			lo = searchHi
+		} else {
+			evals++
+		}
+	}
+
+	served := m.servedAt
+	if m.opts.Ration {
+		served = m.rationedAt
+	}
+	bestPrice, bestRevenue, bestWatts := lo, -1.0, 0.0
+	for q := lo; q <= hi+step/2; q += step {
+		evals++
+		watts := served(bids, q)
+		rev := q * watts / 1000 // $/kW·h × kW = $/h
+		if rev > bestRevenue+feasEps {
+			bestPrice, bestRevenue, bestWatts = q, rev, watts
+		}
+	}
+	if bestRevenue < 0 {
+		// Even the lowest feasible price exceeds every max price: nothing
+		// sells.
+		bestPrice, bestRevenue, bestWatts = lo, 0, 0
+	}
+
+	res.Price = bestPrice
+	res.Evaluations = evals
+	if m.opts.Ration {
+		res.Allocations, res.TotalWatts = m.rationedAllocations(bids, bestPrice)
+		res.RevenueRate = bestPrice * res.TotalWatts / 1000
+		return res, nil
+	}
+	res.TotalWatts = bestWatts
+	res.RevenueRate = bestRevenue
+	res.Allocations = make([]Allocation, len(bids))
+	for i, b := range bids {
+		d := b.Fn.Demand(bestPrice)
+		if hr := m.cons.RackHeadroom[b.Rack]; d > hr {
+			d = hr
+		}
+		res.Allocations[i] = Allocation{Rack: b.Rack, Tenant: b.Tenant, Watts: d}
+	}
+	return res, nil
+}
+
+// VerifyFeasible confirms that an allocation satisfies Eqns. (2)–(4); the
+// simulator asserts this invariant every slot.
+func (m *Market) VerifyFeasible(allocs []Allocation) error {
+	for i := range m.pduLoad {
+		m.pduLoad[i] = 0
+	}
+	total := 0.0
+	for _, a := range allocs {
+		if a.Rack < 0 || a.Rack >= len(m.cons.RackHeadroom) {
+			return fmt.Errorf("%w: allocation for rack %d of %d", ErrConstraints, a.Rack, len(m.cons.RackHeadroom))
+		}
+		if a.Watts < 0 {
+			return fmt.Errorf("core: rack %d allocated negative power %v", a.Rack, a.Watts)
+		}
+		if a.Watts > m.cons.RackHeadroom[a.Rack]+feasEps {
+			return fmt.Errorf("core: rack %d allocated %v W beyond headroom %v W (Eqn. 2)",
+				a.Rack, a.Watts, m.cons.RackHeadroom[a.Rack])
+		}
+		m.pduLoad[m.cons.RackPDU[a.Rack]] += a.Watts
+		total += a.Watts
+	}
+	for i, load := range m.pduLoad {
+		if load > m.cons.PDUSpot[i]+feasEps {
+			return fmt.Errorf("core: PDU %d allocated %v W beyond spot %v W (Eqn. 3)", i, load, m.cons.PDUSpot[i])
+		}
+	}
+	if total > m.cons.UPSSpot+feasEps {
+		return fmt.Errorf("core: UPS allocated %v W beyond spot %v W (Eqn. 4)", total, m.cons.UPSSpot)
+	}
+	return nil
+}
+
+// ClearPerPDU is the pricing ablation discussed in DESIGN.md: each PDU
+// clears independently at its own price (still respecting rack headrooms
+// and its own spot capacity), and the UPS constraint is then enforced by
+// raising the cheapest PDU's price step-by-step until the total fits. The
+// paper's single uniform price is simpler and is what SpotDC deploys; this
+// exists to quantify the gap.
+func (m *Market) ClearPerPDU(bids []Bid) ([]Result, error) {
+	byPDU := make([][]Bid, len(m.cons.PDUSpot))
+	for _, b := range bids {
+		if b.Rack < 0 || b.Rack >= len(m.cons.RackHeadroom) {
+			return nil, fmt.Errorf("%w: bid references rack %d of %d", ErrConstraints, b.Rack, len(m.cons.RackHeadroom))
+		}
+		pdu := m.cons.RackPDU[b.Rack]
+		byPDU[pdu] = append(byPDU[pdu], b)
+	}
+	results := make([]Result, len(byPDU))
+	for pdu, pb := range byPDU {
+		sub, err := NewMarket(Constraints{
+			RackHeadroom: m.cons.RackHeadroom,
+			RackPDU:      m.cons.RackPDU,
+			PDUSpot:      isolatedSpot(m.cons.PDUSpot, pdu),
+			UPSSpot:      m.cons.PDUSpot[pdu],
+		}, m.opts)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sub.Clear(pb)
+		if err != nil {
+			return nil, err
+		}
+		results[pdu] = r
+	}
+	// Enforce the UPS constraint by pricing up the cheapest PDU.
+	step := m.opts.step()
+	for {
+		total := 0.0
+		for _, r := range results {
+			total += r.TotalWatts
+		}
+		if total <= m.cons.UPSSpot+feasEps {
+			break
+		}
+		cheapest, found := -1, false
+		for pdu, r := range results {
+			if r.TotalWatts <= 0 {
+				continue
+			}
+			if !found || r.Price < results[cheapest].Price {
+				cheapest, found = pdu, true
+			}
+		}
+		if !found {
+			break
+		}
+		newPrice := results[cheapest].Price + step
+		results[cheapest] = m.reallocateAt(byPDU[cheapest], newPrice)
+	}
+	return results, nil
+}
+
+func isolatedSpot(pduSpot []float64, keep int) []float64 {
+	out := make([]float64, len(pduSpot))
+	out[keep] = pduSpot[keep]
+	return out
+}
+
+// reallocateAt recomputes a per-PDU result at a forced price.
+func (m *Market) reallocateAt(bids []Bid, price float64) Result {
+	res := Result{Price: price, Allocations: make([]Allocation, len(bids))}
+	for i, b := range bids {
+		d := b.Fn.Demand(price)
+		if hr := m.cons.RackHeadroom[b.Rack]; d > hr {
+			d = hr
+		}
+		res.Allocations[i] = Allocation{Rack: b.Rack, Tenant: b.Tenant, Watts: d}
+		res.TotalWatts += d
+	}
+	res.RevenueRate = price * res.TotalWatts / 1000
+	return res
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRationPDUOverflowScalesProportionally(t *testing.T) {
+	// Two inelastic step bids totalling 110 W on a 50 W PDU: strict mode
+	// sells nothing (no feasible price ≤ their max price); rationing sells
+	// the whole 50 W, split proportionally.
+	cons := twoPDUConstraints(50, 500, 1000)
+	bids := []Bid{
+		{Rack: 0, Tenant: "a", Fn: StepBid{D: 60, QMax: 0.2}},
+		{Rack: 1, Tenant: "b", Fn: StepBid{D: 50, QMax: 0.2}},
+	}
+	strict, err := NewMarket(cons, Options{PriceStep: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := strict.Clear(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.TotalWatts != 0 {
+		t.Fatalf("strict mode sold %v W, want 0", rs.TotalWatts)
+	}
+	rationed, err := NewMarket(cons, Options{PriceStep: 0.001, Ration: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := rationed.Clear(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rr.TotalWatts-50) > 1e-6 {
+		t.Fatalf("rationed sold %v W, want 50", rr.TotalWatts)
+	}
+	// Proportional split: 60:50.
+	ratio := rr.Allocations[0].Watts / rr.Allocations[1].Watts
+	if math.Abs(ratio-1.2) > 1e-6 {
+		t.Errorf("split ratio = %v, want 1.2", ratio)
+	}
+	if err := rationed.VerifyFeasible(rr.Allocations); err != nil {
+		t.Errorf("rationed allocation infeasible: %v", err)
+	}
+	if rr.RevenueRate <= rs.RevenueRate {
+		t.Errorf("rationing revenue %v should beat strict %v here", rr.RevenueRate, rs.RevenueRate)
+	}
+}
+
+func TestRationUPSOverflow(t *testing.T) {
+	cons := twoPDUConstraints(100, 100, 80)
+	bids := []Bid{
+		{Rack: 0, Fn: StepBid{D: 60, QMax: 0.3}},
+		{Rack: 4, Fn: StepBid{D: 60, QMax: 0.3}},
+	}
+	mkt, err := NewMarket(cons, Options{PriceStep: 0.001, Ration: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mkt.Clear(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWatts > 80+1e-6 {
+		t.Errorf("sold %v W on an 80 W UPS", res.TotalWatts)
+	}
+	if res.TotalWatts < 80-1e-6 {
+		t.Errorf("sold %v W, want the full 80 W under rationing", res.TotalWatts)
+	}
+	if err := mkt.VerifyFeasible(res.Allocations); err != nil {
+		t.Errorf("infeasible: %v", err)
+	}
+	// Symmetric bids → equal split.
+	if math.Abs(res.Allocations[0].Watts-res.Allocations[1].Watts) > 1e-9 {
+		t.Errorf("asymmetric split: %v vs %v", res.Allocations[0].Watts, res.Allocations[1].Watts)
+	}
+}
+
+func TestRationCongestedPDUDoesNotFloorGlobalPrice(t *testing.T) {
+	// The scaling pathology rationing exists to fix: PDU 0 has zero spot
+	// capacity while PDU 1 is wide open. Strict mode must raise the uniform
+	// price beyond the PDU-0 bidder's maximum (dropping the PDU-1 bidder's
+	// cheap demand too, if its own max price is below the floor); rationing
+	// keeps the market at the revenue-optimal price and simply gives PDU 0
+	// nothing.
+	cons := twoPDUConstraints(0, 200, 200)
+	bids := []Bid{
+		{Rack: 0, Tenant: "stuck", Fn: StepBid{D: 40, QMax: 0.5}},
+		{Rack: 4, Tenant: "free", Fn: LinearBid{DMax: 60, DMin: 6, QMin: 0.02, QMax: 0.16}},
+	}
+	strict, err := NewMarket(cons, Options{PriceStep: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := strict.Clear(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strict: feasibility needs the stuck bid to drop → price > 0.5, which
+	// also prices out the free bidder (max 0.16).
+	if rs.TotalWatts != 0 {
+		t.Fatalf("strict sold %v W, want 0 (global floor)", rs.TotalWatts)
+	}
+	rationed, err := NewMarket(cons, Options{PriceStep: 0.001, Ration: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := rationed.Clear(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTenant := map[string]float64{}
+	for _, a := range rr.Allocations {
+		byTenant[a.Tenant] += a.Watts
+	}
+	if byTenant["stuck"] != 0 {
+		t.Errorf("stuck tenant got %v W from an empty PDU", byTenant["stuck"])
+	}
+	if byTenant["free"] <= 0 {
+		t.Errorf("free tenant got nothing despite 200 W of spot")
+	}
+	if err := rationed.VerifyFeasible(rr.Allocations); err != nil {
+		t.Errorf("infeasible: %v", err)
+	}
+}
+
+func TestRationNoOverflowMatchesStrict(t *testing.T) {
+	// With abundant capacity rationing changes nothing: same price, same
+	// allocations.
+	cons := twoPDUConstraints(500, 500, 1000)
+	bids := []Bid{
+		{Rack: 0, Fn: LinearBid{DMax: 40, DMin: 10, QMin: 0.1, QMax: 0.4}},
+		{Rack: 1, Fn: LinearBid{DMax: 60, DMin: 6, QMin: 0.02, QMax: 0.16}},
+	}
+	strict, err := NewMarket(cons, Options{PriceStep: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rationed, err := NewMarket(cons, Options{PriceStep: 0.001, Ration: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := strict.Clear(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := rationed.Clear(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rs.Price-rr.Price) > 1e-9 || math.Abs(rs.TotalWatts-rr.TotalWatts) > 1e-9 {
+		t.Errorf("abundant capacity: strict (%v, %v) != rationed (%v, %v)",
+			rs.Price, rs.TotalWatts, rr.Price, rr.TotalWatts)
+	}
+	for i := range rs.Allocations {
+		if math.Abs(rs.Allocations[i].Watts-rr.Allocations[i].Watts) > 1e-9 {
+			t.Errorf("allocation %d differs: %v vs %v", i, rs.Allocations[i].Watts, rr.Allocations[i].Watts)
+		}
+	}
+}
+
+// Property: rationed clearings always satisfy Eqns. (2)–(4), never exceed
+// the per-rack demand at the clearing price, and earn at least as much
+// revenue as strict clearing on the same bids.
+func TestQuickRationFeasibleAndDominant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nRacks := 4 + rng.Intn(8)
+		nPDUs := 1 + rng.Intn(3)
+		cons := Constraints{
+			RackHeadroom: make([]float64, nRacks),
+			RackPDU:      make([]int, nRacks),
+			PDUSpot:      make([]float64, nPDUs),
+		}
+		for r := 0; r < nRacks; r++ {
+			cons.RackHeadroom[r] = 20 + rng.Float64()*80
+			cons.RackPDU[r] = rng.Intn(nPDUs)
+		}
+		for m := 0; m < nPDUs; m++ {
+			cons.PDUSpot[m] = rng.Float64() * 100
+		}
+		cons.UPSSpot = rng.Float64() * 100 * float64(nPDUs)
+		var bids []Bid
+		for r := 0; r < nRacks; r++ {
+			dMin := rng.Float64() * 30
+			dMax := dMin + rng.Float64()*60
+			qMin := rng.Float64() * 0.2
+			qMax := qMin + rng.Float64()*0.5
+			bids = append(bids, Bid{Rack: r, Fn: LinearBid{DMax: dMax, DMin: dMin, QMin: qMin, QMax: qMax}})
+		}
+		strict, err := NewMarket(cons, Options{PriceStep: 0.002})
+		if err != nil {
+			return false
+		}
+		rationed, err := NewMarket(cons, Options{PriceStep: 0.002, Ration: true})
+		if err != nil {
+			return false
+		}
+		rs, err := strict.Clear(bids)
+		if err != nil {
+			return false
+		}
+		rr, err := rationed.Clear(bids)
+		if err != nil {
+			return false
+		}
+		if err := rationed.VerifyFeasible(rr.Allocations); err != nil {
+			return false
+		}
+		for i, a := range rr.Allocations {
+			want := bids[i].Fn.Demand(rr.Price)
+			if a.Watts > want+1e-9 {
+				return false // rationing only ever shrinks the grant
+			}
+		}
+		// Strict clearing is one feasible pricing strategy; the rationed
+		// optimum cannot earn less (up to scan-grid slack).
+		return rr.RevenueRate >= rs.RevenueRate-1e-6-0.002*rr.TotalWatts/1000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

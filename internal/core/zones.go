@@ -1,0 +1,277 @@
+package core
+
+import "fmt"
+
+// The paper notes (Section III-A) that further practical constraints —
+// heat density (limiting server power over an area to bound the cooling
+// load) and phase balance (keeping the three phases of a PDU/UPS within a
+// tolerance of each other) — can be incorporated into spot capacity
+// allocation following the power-routing model [9]. This file adds both as
+// optional extensions of Constraints; they participate in feasibility,
+// rationing, allocation verification, and MaxPerf.
+
+// Zone is a heat-density (cooling) constraint: the summed spot capacity
+// granted to its racks must not exceed MaxWatts, independent of PDU
+// membership.
+type Zone struct {
+	// Name labels the zone (e.g. a row or cold aisle).
+	Name string
+	// Racks lists the member rack indices.
+	Racks []int
+	// MaxWatts is the zone's spot-capacity limit in watts.
+	MaxWatts float64
+}
+
+// PhaseOf maps racks to the electrical phase (0, 1 or 2) feeding them.
+// Three-phase balance is enforced per PDU.
+type PhaseOf []int
+
+// Extras carries the optional Section III-A constraints.
+type Extras struct {
+	// Zones lists heat-density constraints.
+	Zones []Zone
+	// RackPhase assigns each rack a phase 0–2; nil disables phase checks.
+	RackPhase PhaseOf
+	// PhaseImbalance is the tolerated fractional deviation of any phase's
+	// spot allocation from the per-PDU phase mean (e.g. 0.2 allows a phase
+	// to carry up to 120% of the mean). Values ≤ 0 default to 0.25.
+	PhaseImbalance float64
+}
+
+func (e *Extras) imbalance() float64 {
+	if e.PhaseImbalance <= 0 {
+		return 0.25
+	}
+	return e.PhaseImbalance
+}
+
+// validateExtras checks extras against the base constraints.
+func (c Constraints) validateExtras(e *Extras) error {
+	if e == nil {
+		return nil
+	}
+	for zi, z := range e.Zones {
+		if z.MaxWatts < 0 {
+			return fmt.Errorf("%w: zone %d (%s) max %v negative", ErrConstraints, zi, z.Name, z.MaxWatts)
+		}
+		for _, r := range z.Racks {
+			if r < 0 || r >= len(c.RackHeadroom) {
+				return fmt.Errorf("%w: zone %d (%s) references rack %d of %d",
+					ErrConstraints, zi, z.Name, r, len(c.RackHeadroom))
+			}
+		}
+	}
+	if e.RackPhase != nil {
+		if len(e.RackPhase) != len(c.RackHeadroom) {
+			return fmt.Errorf("%w: %d phase assignments for %d racks",
+				ErrConstraints, len(e.RackPhase), len(c.RackHeadroom))
+		}
+		for r, ph := range e.RackPhase {
+			if ph < 0 || ph > 2 {
+				return fmt.Errorf("%w: rack %d assigned phase %d (want 0-2)", ErrConstraints, r, ph)
+			}
+		}
+	}
+	return nil
+}
+
+// SetExtras installs (or clears, with nil) the optional constraints.
+func (m *Market) SetExtras(e *Extras) error {
+	if err := m.cons.validateExtras(e); err != nil {
+		return err
+	}
+	if e != nil {
+		cp := *e
+		cp.Zones = append([]Zone(nil), e.Zones...)
+		if e.RackPhase != nil {
+			cp.RackPhase = append(PhaseOf(nil), e.RackPhase...)
+		}
+		m.extras = &cp
+	} else {
+		m.extras = nil
+	}
+	return nil
+}
+
+// extrasFeasible reports whether the per-rack served demands (already
+// clamped to rack headroom) satisfy the zone and phase constraints.
+// serve(rack) must return the rack's tentative grant.
+func (m *Market) extrasFeasible(bids []Bid, serve func(b Bid) float64) bool {
+	e := m.extras
+	if e == nil {
+		return true
+	}
+	if len(e.Zones) > 0 {
+		zoneLoad := make(map[int]float64, len(e.Zones))
+		rackGrant := make(map[int]float64, len(bids))
+		for _, b := range bids {
+			rackGrant[b.Rack] += serve(b)
+		}
+		for zi, z := range e.Zones {
+			for _, r := range z.Racks {
+				zoneLoad[zi] += rackGrant[r]
+			}
+			if zoneLoad[zi] > z.MaxWatts+feasEps {
+				return false
+			}
+		}
+	}
+	if e.RackPhase != nil {
+		if !m.phasesBalanced(bids, serve) {
+			return false
+		}
+	}
+	return true
+}
+
+// phasesBalanced checks the per-PDU three-phase balance of the tentative
+// grants.
+func (m *Market) phasesBalanced(bids []Bid, serve func(b Bid) float64) bool {
+	e := m.extras
+	tol := e.imbalance()
+	// phase load per PDU: index pdu*3+phase.
+	loads := make([]float64, len(m.cons.PDUSpot)*3)
+	for _, b := range bids {
+		w := serve(b)
+		if w <= 0 {
+			continue
+		}
+		pdu := m.cons.RackPDU[b.Rack]
+		loads[pdu*3+e.RackPhase[b.Rack]] += w
+	}
+	for pdu := 0; pdu < len(m.cons.PDUSpot); pdu++ {
+		a, bb, c := loads[pdu*3], loads[pdu*3+1], loads[pdu*3+2]
+		mean := (a + bb + c) / 3
+		if mean <= feasEps {
+			continue
+		}
+		limit := mean * (1 + tol)
+		if a > limit+feasEps || bb > limit+feasEps || c > limit+feasEps {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyExtras confirms an allocation against the installed zone and phase
+// constraints (no-op when none are installed).
+func (m *Market) VerifyExtras(allocs []Allocation) error {
+	e := m.extras
+	if e == nil {
+		return nil
+	}
+	rackGrant := make(map[int]float64, len(allocs))
+	for _, a := range allocs {
+		rackGrant[a.Rack] += a.Watts
+	}
+	for zi, z := range e.Zones {
+		load := 0.0
+		for _, r := range z.Racks {
+			load += rackGrant[r]
+		}
+		if load > z.MaxWatts+feasEps {
+			return fmt.Errorf("core: zone %d (%s) allocated %v W beyond %v W (heat density)",
+				zi, z.Name, load, z.MaxWatts)
+		}
+	}
+	if e.RackPhase != nil {
+		loads := make([]float64, len(m.cons.PDUSpot)*3)
+		for r, w := range rackGrant {
+			loads[m.cons.RackPDU[r]*3+e.RackPhase[r]] += w
+		}
+		tol := e.imbalance()
+		for pdu := 0; pdu < len(m.cons.PDUSpot); pdu++ {
+			a, b, c := loads[pdu*3], loads[pdu*3+1], loads[pdu*3+2]
+			mean := (a + b + c) / 3
+			if mean <= feasEps {
+				continue
+			}
+			limit := mean * (1 + tol)
+			for ph, w := range []float64{a, b, c} {
+				if w > limit+feasEps {
+					return fmt.Errorf("core: PDU %d phase %d carries %v W, beyond %v W (balance tolerance %v)",
+						pdu, ph, w, limit, tol)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ClearWithExtras clears the market honouring the installed zone and phase
+// constraints. Unlike the base constraints, phase balance is NOT monotone
+// in price (a high price can drop one phase's bidders entirely and
+// unbalance the rest), so the search scans every candidate price and keeps
+// the best feasible one instead of bisecting a feasibility frontier.
+func (m *Market) ClearWithExtras(bids []Bid) (Result, error) {
+	if m.extras == nil {
+		return m.Clear(bids)
+	}
+	for _, b := range bids {
+		if b.Rack < 0 || b.Rack >= len(m.cons.RackHeadroom) {
+			return Result{}, fmt.Errorf("%w: bid references rack %d of %d", ErrConstraints, b.Rack, len(m.cons.RackHeadroom))
+		}
+		if b.Fn == nil {
+			return Result{}, fmt.Errorf("%w: bid for rack %d has nil demand function", ErrBid, b.Rack)
+		}
+	}
+	floor := m.opts.ReservePrice
+	if floor < 0 {
+		floor = 0
+	}
+	res := Result{Price: floor}
+	if len(bids) == 0 {
+		return res, nil
+	}
+	hi := floor
+	for _, b := range bids {
+		if p := b.Fn.MaxPrice(); p > hi {
+			hi = p
+		}
+	}
+	step := m.opts.step()
+	serveAt := func(price float64) func(b Bid) float64 {
+		return func(b Bid) float64 {
+			d := b.Fn.Demand(price)
+			if hr := m.cons.RackHeadroom[b.Rack]; d > hr {
+				d = hr
+			}
+			if d < 0 {
+				return 0
+			}
+			return d
+		}
+	}
+	feasible := func(price float64) bool {
+		return m.feasibleAt(bids, price) && m.extrasFeasible(bids, serveAt(price))
+	}
+
+	bestPrice, bestRevenue, bestWatts := floor, -1.0, 0.0
+	evals := 0
+	for q := floor; q <= hi+step/2; q += step {
+		evals++
+		if !feasible(q) {
+			continue
+		}
+		watts := m.servedAt(bids, q)
+		rev := q * watts / 1000
+		if rev > bestRevenue+feasEps {
+			bestPrice, bestRevenue, bestWatts = q, rev, watts
+		}
+	}
+	if bestRevenue < 0 {
+		// No feasible price sells anything: the market idles above every
+		// max price, where demand (and hence every constraint load) is 0.
+		bestPrice, bestRevenue, bestWatts = hi+step, 0, 0
+	}
+	res.Price = bestPrice
+	res.TotalWatts = bestWatts
+	res.RevenueRate = bestRevenue
+	res.Evaluations = evals
+	res.Allocations = make([]Allocation, len(bids))
+	serve := serveAt(bestPrice)
+	for i, b := range bids {
+		res.Allocations[i] = Allocation{Rack: b.Rack, Tenant: b.Tenant, Watts: serve(b)}
+	}
+	return res, nil
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetExtrasValidation(t *testing.T) {
+	m, err := NewMarket(twoPDUConstraints(100, 100, 200), Options{PriceStep: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Extras{
+		{Zones: []Zone{{Name: "z", Racks: []int{99}, MaxWatts: 10}}},
+		{Zones: []Zone{{Name: "z", Racks: []int{0}, MaxWatts: -1}}},
+		{RackPhase: PhaseOf{0, 1}},                   // wrong length
+		{RackPhase: PhaseOf{0, 1, 2, 3, 0, 1, 2, 0}}, // phase 3
+	}
+	for i, e := range bad {
+		if err := m.SetExtras(e); !errors.Is(err, ErrConstraints) {
+			t.Errorf("bad extras %d accepted: %v", i, err)
+		}
+	}
+	ok := &Extras{
+		Zones:     []Zone{{Name: "aisle", Racks: []int{0, 1}, MaxWatts: 80}},
+		RackPhase: PhaseOf{0, 1, 2, 0, 1, 2, 0, 1},
+	}
+	if err := m.SetExtras(ok); err != nil {
+		t.Fatal(err)
+	}
+	// Clearing (and mutation of the caller's extras) must not alias.
+	ok.Zones[0].MaxWatts = -5
+	res, err := m.ClearWithExtras(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	if err := m.SetExtras(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZoneConstraintCapsAllocation(t *testing.T) {
+	// Racks 0 and 1 share a hot aisle capped at 50 W even though their PDU
+	// has 200 W of spot; inelastic step bids of 40 W each exceed the zone,
+	// so the price must rise until the zone fits.
+	m, err := NewMarket(twoPDUConstraints(200, 200, 400), Options{PriceStep: 0.0005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetExtras(&Extras{Zones: []Zone{{Name: "aisle", Racks: []int{0, 1}, MaxWatts: 50}}}); err != nil {
+		t.Fatal(err)
+	}
+	bids := []Bid{
+		{Rack: 0, Fn: LinearBid{DMax: 40, DMin: 5, QMin: 0.05, QMax: 0.4}},
+		{Rack: 1, Fn: LinearBid{DMax: 40, DMin: 5, QMin: 0.05, QMax: 0.4}},
+		{Rack: 4, Fn: LinearBid{DMax: 40, DMin: 5, QMin: 0.05, QMax: 0.4}}, // other PDU, not in the zone
+	}
+	res, err := m.ClearWithExtras(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inZone := res.Allocations[0].Watts + res.Allocations[1].Watts
+	if inZone > 50+1e-6 {
+		t.Errorf("zone granted %v W of 50 W", inZone)
+	}
+	if err := m.VerifyExtras(res.Allocations); err != nil {
+		t.Errorf("VerifyExtras: %v", err)
+	}
+	if err := m.VerifyFeasible(res.Allocations); err != nil {
+		t.Errorf("VerifyFeasible: %v", err)
+	}
+	// The rack outside the zone should not be starved by the zone cap: it
+	// still receives capacity at the clearing price.
+	if res.Allocations[2].Watts <= 0 {
+		t.Error("rack outside the zone got nothing")
+	}
+}
+
+func TestZoneInfeasibleSellsNothing(t *testing.T) {
+	// An inelastic bid that can never fit its 10 W zone: nothing sells.
+	m, err := NewMarket(twoPDUConstraints(200, 200, 400), Options{PriceStep: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetExtras(&Extras{Zones: []Zone{{Name: "z", Racks: []int{0}, MaxWatts: 10}}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.ClearWithExtras([]Bid{{Rack: 0, Fn: StepBid{D: 40, QMax: 0.3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWatts != 0 {
+		t.Errorf("sold %v W into a 10 W zone", res.TotalWatts)
+	}
+}
+
+func TestPhaseBalanceEnforced(t *testing.T) {
+	// All demand on phase 0 of PDU 0: with phases installed and default
+	// tolerance, a single loaded phase (mean = load/3, limit = mean·1.25)
+	// can never be balanced, so nothing sells; spreading the same bids
+	// across phases clears fine.
+	cons := twoPDUConstraints(200, 200, 400)
+	lopsided, err := NewMarket(cons, Options{PriceStep: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lopsided.SetExtras(&Extras{RackPhase: PhaseOf{0, 0, 0, 0, 0, 0, 0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	bids := []Bid{
+		{Rack: 0, Fn: StepBid{D: 30, QMax: 0.3}},
+		{Rack: 1, Fn: StepBid{D: 30, QMax: 0.3}},
+		{Rack: 2, Fn: StepBid{D: 30, QMax: 0.3}},
+	}
+	res, err := lopsided.ClearWithExtras(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWatts != 0 {
+		t.Errorf("lopsided phases sold %v W", res.TotalWatts)
+	}
+	balanced, err := NewMarket(cons, Options{PriceStep: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := balanced.SetExtras(&Extras{RackPhase: PhaseOf{0, 1, 2, 0, 1, 2, 0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = balanced.ClearWithExtras(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TotalWatts-90) > 1e-6 {
+		t.Errorf("balanced phases sold %v W, want 90", res.TotalWatts)
+	}
+	if err := balanced.VerifyExtras(res.Allocations); err != nil {
+		t.Errorf("VerifyExtras: %v", err)
+	}
+}
+
+func TestPhaseImbalanceTolerance(t *testing.T) {
+	// Two racks on phases 0 and 1 with 40 W and 30 W: mean is 23.3, the
+	// default 25% tolerance allows 29.2 — infeasible. A generous 100%
+	// tolerance allows 46.7 — feasible.
+	cons := twoPDUConstraints(200, 200, 400)
+	bids := []Bid{
+		{Rack: 0, Fn: StepBid{D: 40, QMax: 0.3}},
+		{Rack: 1, Fn: StepBid{D: 30, QMax: 0.3}},
+	}
+	strict, err := NewMarket(cons, Options{PriceStep: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := strict.SetExtras(&Extras{RackPhase: PhaseOf{0, 1, 2, 0, 1, 2, 0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := strict.ClearWithExtras(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.TotalWatts != 0 {
+		t.Errorf("default tolerance sold %v W despite imbalance", rs.TotalWatts)
+	}
+	loose, err := NewMarket(cons, Options{PriceStep: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loose.SetExtras(&Extras{RackPhase: PhaseOf{0, 1, 2, 0, 1, 2, 0, 1}, PhaseImbalance: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	rl, err := loose.ClearWithExtras(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rl.TotalWatts-70) > 1e-6 {
+		t.Errorf("loose tolerance sold %v W, want 70", rl.TotalWatts)
+	}
+}
+
+func TestClearWithExtrasNoExtrasDelegates(t *testing.T) {
+	m, err := NewMarket(twoPDUConstraints(100, 100, 200), Options{PriceStep: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bids := []Bid{{Rack: 0, Fn: LinearBid{DMax: 40, DMin: 10, QMin: 0.05, QMax: 0.3}}}
+	a, err := m.ClearWithExtras(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Clear(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Price != b.Price || a.TotalWatts != b.TotalWatts {
+		t.Errorf("delegation mismatch: %+v vs %+v", a, b)
+	}
+}
+
+func TestVerifyExtrasRejects(t *testing.T) {
+	m, err := NewMarket(twoPDUConstraints(200, 200, 400), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetExtras(&Extras{
+		Zones:     []Zone{{Name: "z", Racks: []int{0, 1}, MaxWatts: 50}},
+		RackPhase: PhaseOf{0, 1, 2, 0, 1, 2, 0, 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyExtras([]Allocation{{Rack: 0, Watts: 30}, {Rack: 1, Watts: 30}}); err == nil {
+		t.Error("zone overflow accepted")
+	}
+	if err := m.VerifyExtras([]Allocation{{Rack: 0, Watts: 60}}); err == nil {
+		t.Error("phase imbalance accepted")
+	}
+	if err := m.VerifyExtras([]Allocation{{Rack: 0, Watts: 15}, {Rack: 1, Watts: 15}, {Rack: 2, Watts: 15}}); err != nil {
+		t.Errorf("balanced allocation rejected: %v", err)
+	}
+}
+
+// Property: ClearWithExtras never violates zones or phases, and never
+// earns more than the unconstrained clearing on the same bids.
+func TestQuickExtrasNeverViolated(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cons := twoPDUConstraints(50+rng.Float64()*150, 50+rng.Float64()*150, 100+rng.Float64()*300)
+		phases := make(PhaseOf, 8)
+		for i := range phases {
+			phases[i] = rng.Intn(3)
+		}
+		extras := &Extras{
+			Zones: []Zone{
+				{Name: "a", Racks: []int{0, 1, 2}, MaxWatts: rng.Float64() * 120},
+				{Name: "b", Racks: []int{4, 5}, MaxWatts: rng.Float64() * 120},
+			},
+			RackPhase:      phases,
+			PhaseImbalance: 0.3 + rng.Float64(),
+		}
+		var bids []Bid
+		for r := 0; r < 8; r++ {
+			if rng.Float64() < 0.3 {
+				continue
+			}
+			dMin := rng.Float64() * 20
+			dMax := dMin + rng.Float64()*40
+			qMin := rng.Float64() * 0.1
+			bids = append(bids, Bid{Rack: r, Fn: LinearBid{
+				DMax: dMax, DMin: dMin, QMin: qMin, QMax: qMin + 0.05 + rng.Float64()*0.3}})
+		}
+		withEx, err := NewMarket(cons, Options{PriceStep: 0.005})
+		if err != nil {
+			return false
+		}
+		if err := withEx.SetExtras(extras); err != nil {
+			return false
+		}
+		res, err := withEx.ClearWithExtras(bids)
+		if err != nil {
+			return false
+		}
+		if err := withEx.VerifyExtras(res.Allocations); err != nil {
+			return false
+		}
+		if err := withEx.VerifyFeasible(res.Allocations); err != nil {
+			return false
+		}
+		plain, err := NewMarket(cons, Options{PriceStep: 0.005})
+		if err != nil {
+			return false
+		}
+		base, err := plain.Clear(bids)
+		if err != nil {
+			return false
+		}
+		// Extra constraints can only reduce the achievable revenue (up to
+		// one grid step of slack from the differing scan origins).
+		slack := 0.005*res.TotalWatts/1000 + 1e-9
+		return res.RevenueRate <= base.RevenueRate+slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,328 @@
+// Package operator implements the data-center operator's side of SpotDC
+// (Algorithm 1): per-slot spot-capacity prediction from rack-level power
+// monitoring, market execution, rack-budget resets, billing, and the
+// profit accounting the paper's evaluation reports (baseline guaranteed
+// revenue, infrastructure capex amortization, the US$0.4/W rack
+// over-provisioning capex, and spot revenue).
+package operator
+
+import (
+	"errors"
+	"fmt"
+
+	"spotdc/internal/core"
+	"spotdc/internal/power"
+)
+
+// ErrPricing reports an invalid pricing configuration.
+var ErrPricing = errors.New("operator: invalid pricing")
+
+// HoursPerMonth is the average month length used to amortize monthly rates.
+const HoursPerMonth = 730.0
+
+// Pricing carries the monetary parameters of the evaluation (Sections II
+// and V-B).
+type Pricing struct {
+	// GuaranteedPerKWMonth is the guaranteed-capacity lease rate in
+	// $/kW/month (US$120–250 in the paper; the amortized form anchors
+	// tenants' maximum bids at ≈$0.2/kW·h).
+	GuaranteedPerKWMonth float64
+	// EnergyPerKWh is the metered energy price tenants pay ($/kWh).
+	EnergyPerKWh float64
+	// InfraCapexPerWatt is the UPS/PDU/cooling capital expense (US$10–25/W;
+	// the paper's calculations use the midpoint).
+	InfraCapexPerWatt float64
+	// InfraLifetimeYears amortizes the infrastructure capex.
+	InfraLifetimeYears float64
+	// RackCapexPerWatt is the cheap rack-level over-provisioning expense
+	// supporting spot headroom (US$0.4/W in the paper's calculation).
+	RackCapexPerWatt float64
+	// RackLifetimeYears amortizes the rack capex (15 years in the paper).
+	RackLifetimeYears float64
+}
+
+// DefaultPricing returns the paper's evaluation parameters.
+func DefaultPricing() Pricing {
+	return Pricing{
+		GuaranteedPerKWMonth: 120,
+		EnergyPerKWh:         0.10,
+		InfraCapexPerWatt:    20.5,
+		InfraLifetimeYears:   15,
+		RackCapexPerWatt:     0.4,
+		RackLifetimeYears:    15,
+	}
+}
+
+// Validate checks the configuration.
+func (p Pricing) Validate() error {
+	switch {
+	case p.GuaranteedPerKWMonth <= 0:
+		return fmt.Errorf("%w: guaranteed rate %v", ErrPricing, p.GuaranteedPerKWMonth)
+	case p.EnergyPerKWh < 0:
+		return fmt.Errorf("%w: energy price %v", ErrPricing, p.EnergyPerKWh)
+	case p.InfraCapexPerWatt < 0 || p.RackCapexPerWatt < 0:
+		return fmt.Errorf("%w: negative capex", ErrPricing)
+	case p.InfraLifetimeYears <= 0 || p.RackLifetimeYears <= 0:
+		return fmt.Errorf("%w: non-positive lifetime", ErrPricing)
+	}
+	return nil
+}
+
+// GuaranteedPerKWh is the amortized guaranteed-capacity rate in $/kW·h,
+// the natural price anchor for spot bids (≈0.16–0.34 for the paper's
+// $120–250/kW/month range).
+func (p Pricing) GuaranteedPerKWh() float64 {
+	return p.GuaranteedPerKWMonth / HoursPerMonth
+}
+
+// GuaranteedRevenueRate returns the operator's revenue rate ($/h) from
+// leasedWatts of guaranteed capacity.
+func (p Pricing) GuaranteedRevenueRate(leasedWatts float64) float64 {
+	return leasedWatts / 1000 * p.GuaranteedPerKWh()
+}
+
+// InfraAmortRate returns the $/h amortization of the shared power
+// infrastructure sized at capacityWatts.
+func (p Pricing) InfraAmortRate(capacityWatts float64) float64 {
+	return capacityWatts * p.InfraCapexPerWatt / (p.InfraLifetimeYears * 365 * 24)
+}
+
+// RackAmortRate returns the $/h amortization of rack-level
+// over-provisioning totaling headroomWatts — the only extra expense SpotDC
+// adds, which the paper shows is negligible.
+func (p Pricing) RackAmortRate(headroomWatts float64) float64 {
+	return headroomWatts * p.RackCapexPerWatt / (p.RackLifetimeYears * 365 * 24)
+}
+
+// BaselineProfitRate is the PowerCapped operator profit rate in $/h:
+// guaranteed revenue minus infrastructure amortization. Spot revenue is
+// reported as an increase over this baseline (the paper's +9.7%).
+func (p Pricing) BaselineProfitRate(leasedWatts, infraCapacityWatts float64) float64 {
+	return p.GuaranteedRevenueRate(leasedWatts) - p.InfraAmortRate(infraCapacityWatts)
+}
+
+// Operator runs the SpotDC control loop for one data center.
+type Operator struct {
+	topo    *power.Topology
+	market  *core.Market
+	pricing Pricing
+	predict power.PredictOptions
+
+	spotRevenue    float64 // cumulative $
+	spotEnergyKWh  float64 // spot capacity actually sold × time
+	slots          int
+	payments       map[string]float64 // per-tenant cumulative $
+	lastSpot       power.Spot
+	emergencySlots int
+}
+
+// Config assembles an Operator.
+type Config struct {
+	// Topology describes the power hierarchy.
+	Topology *power.Topology
+	// MarketOptions tunes the clearing-price search.
+	MarketOptions core.Options
+	// Pricing carries the monetary parameters (DefaultPricing if zero).
+	Pricing Pricing
+	// Predict tunes spot-capacity prediction (e.g. the Fig. 17
+	// under-prediction factor).
+	Predict power.PredictOptions
+}
+
+// New builds an Operator, deriving the market's rack constraints from the
+// topology (headroom P_r^R per rack, PDU membership).
+func New(cfg Config) (*Operator, error) {
+	if cfg.Topology == nil {
+		return nil, errors.New("operator: nil topology")
+	}
+	pr := cfg.Pricing
+	if pr == (Pricing{}) {
+		pr = DefaultPricing()
+	}
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	topo := cfg.Topology
+	cons := core.Constraints{
+		RackHeadroom: make([]float64, len(topo.Racks)),
+		RackPDU:      make([]int, len(topo.Racks)),
+		PDUSpot:      make([]float64, len(topo.PDUs)),
+	}
+	for i, r := range topo.Racks {
+		cons.RackHeadroom[i] = r.SpotHeadroom
+		cons.RackPDU[i] = r.PDU
+	}
+	mkt, err := core.NewMarket(cons, cfg.MarketOptions)
+	if err != nil {
+		return nil, err
+	}
+	return &Operator{
+		topo:     topo,
+		market:   mkt,
+		pricing:  pr,
+		predict:  cfg.Predict,
+		payments: make(map[string]float64),
+	}, nil
+}
+
+// Pricing returns the operator's pricing parameters.
+func (op *Operator) Pricing() Pricing { return op.pricing }
+
+// Topology returns the operator's power topology.
+func (op *Operator) Topology() *power.Topology { return op.topo }
+
+// LastSpot returns the spot capacity predicted in the most recent slot.
+func (op *Operator) LastSpot() power.Spot { return op.lastSpot }
+
+// PredictSpot runs Section III-C's prediction for the next slot: the
+// current reading provides reference power, racks appearing in bids are
+// referenced at their guaranteed capacity, and the conservative
+// under-prediction factor is applied.
+func (op *Operator) PredictSpot(reading power.Reading, biddingRacks []int) (power.Spot, error) {
+	opts := op.predict
+	if len(biddingRacks) > 0 {
+		opts.SpotUsers = make(map[int]bool, len(biddingRacks))
+		for _, r := range biddingRacks {
+			opts.SpotUsers[r] = true
+		}
+	}
+	return op.topo.PredictSpot(reading, opts)
+}
+
+// SlotOutcome reports one slot of market operation.
+type SlotOutcome struct {
+	// Spot is the predicted available spot capacity used for clearing.
+	Spot power.Spot
+	// Result is the market clearing outcome.
+	Result core.Result
+	// RevenueThisSlot is the $ billed for the slot.
+	RevenueThisSlot float64
+}
+
+// RunSlot executes one Algorithm 1 iteration: predict spot capacity from
+// the reading, clear the market over the bids, verify feasibility, and
+// bill tenants for slotHours of their granted capacity.
+func (op *Operator) RunSlot(bids []core.Bid, reading power.Reading, slotHours float64) (SlotOutcome, error) {
+	if slotHours <= 0 {
+		return SlotOutcome{}, fmt.Errorf("operator: slotHours %v must be positive", slotHours)
+	}
+	racks := make([]int, 0, len(bids))
+	for _, b := range bids {
+		racks = append(racks, b.Rack)
+	}
+	spot, err := op.PredictSpot(reading, racks)
+	if err != nil {
+		return SlotOutcome{}, err
+	}
+	if err := op.market.SetSpot(spot.PDUWatts, spot.UPSWatts); err != nil {
+		return SlotOutcome{}, err
+	}
+	res, err := op.market.Clear(bids)
+	if err != nil {
+		return SlotOutcome{}, err
+	}
+	if err := op.market.VerifyFeasible(res.Allocations); err != nil {
+		// A reliability invariant, not an expected runtime condition: spot
+		// allocation must never endanger the infrastructure.
+		return SlotOutcome{}, fmt.Errorf("operator: clearing produced infeasible allocation: %w", err)
+	}
+	slotRevenue := res.RevenueRate * slotHours
+	op.spotRevenue += slotRevenue
+	op.spotEnergyKWh += res.TotalWatts / 1000 * slotHours
+	op.slots++
+	op.lastSpot = spot
+	for _, a := range res.Allocations {
+		if a.Watts > 0 && a.Tenant != "" {
+			op.payments[a.Tenant] += res.Price * a.Watts / 1000 * slotHours
+		}
+	}
+	return SlotOutcome{Spot: spot, Result: res, RevenueThisSlot: slotRevenue}, nil
+}
+
+// MaxPerfSlot runs the MaxPerf baseline for one slot under the same
+// predicted spot capacity (no payments).
+func (op *Operator) MaxPerfSlot(reqs []core.MaxPerfRequest, reading power.Reading) ([]core.Allocation, power.Spot, error) {
+	racks := make([]int, 0, len(reqs))
+	for _, r := range reqs {
+		racks = append(racks, r.Rack)
+	}
+	spot, err := op.PredictSpot(reading, racks)
+	if err != nil {
+		return nil, power.Spot{}, err
+	}
+	cons := op.market.Constraints()
+	cons.PDUSpot = spot.PDUWatts
+	cons.UPSSpot = spot.UPSWatts
+	allocs, err := core.MaxPerf(cons, reqs, core.MaxPerfOptions{QuantumWatts: 2})
+	if err != nil {
+		return nil, power.Spot{}, err
+	}
+	op.slots++
+	op.lastSpot = spot
+	return allocs, spot, nil
+}
+
+// ObserveEmergencies records capacity excursions for the slot's realized
+// reading (handled by separate power-capping mechanisms, as in the paper;
+// the operator only counts them here).
+func (op *Operator) ObserveEmergencies(reading power.Reading, breakerTolerance float64) []power.Emergency {
+	em := op.topo.CheckEmergencies(reading, breakerTolerance)
+	if len(em) > 0 {
+		op.emergencySlots++
+	}
+	return em
+}
+
+// EmergencySlots returns how many observed slots had at least one
+// capacity excursion.
+func (op *Operator) EmergencySlots() int { return op.emergencySlots }
+
+// SpotRevenue returns the cumulative spot revenue in $.
+func (op *Operator) SpotRevenue() float64 { return op.spotRevenue }
+
+// SpotEnergyKWh returns the cumulative spot capacity sold in kWh.
+func (op *Operator) SpotEnergyKWh() float64 { return op.spotEnergyKWh }
+
+// Slots returns how many slots the operator has run.
+func (op *Operator) Slots() int { return op.slots }
+
+// PaymentOf returns a tenant's cumulative spot payments in $.
+func (op *Operator) PaymentOf(tenant string) float64 { return op.payments[tenant] }
+
+// ProfitReport summarizes the Fig. 12 / Fig. 18 profit comparison over a
+// simulated horizon.
+type ProfitReport struct {
+	// Hours is the simulated duration.
+	Hours float64
+	// BaselineProfit is the PowerCapped profit over the horizon ($).
+	BaselineProfit float64
+	// SpotRevenue is the extra revenue from selling spot capacity ($).
+	SpotRevenue float64
+	// RackCapex is the amortized rack over-provisioning expense ($).
+	RackCapex float64
+	// ExtraProfitFraction is (SpotRevenue − RackCapex) / BaselineProfit —
+	// the paper's headline +9.7%.
+	ExtraProfitFraction float64
+}
+
+// Profit computes the report for a horizon of the given hours, using the
+// topology's leased capacity and UPS capacity for the baseline.
+func (op *Operator) Profit(hours float64, extraLeasedWatts float64) ProfitReport {
+	leased := op.topo.TotalGuaranteed() + extraLeasedWatts
+	headroom := 0.0
+	for _, r := range op.topo.Racks {
+		headroom += r.SpotHeadroom
+	}
+	base := op.pricing.BaselineProfitRate(leased, op.topo.UPSCapacity) * hours
+	rackCapex := op.pricing.RackAmortRate(headroom) * hours
+	rep := ProfitReport{
+		Hours:          hours,
+		BaselineProfit: base,
+		SpotRevenue:    op.spotRevenue,
+		RackCapex:      rackCapex,
+	}
+	if base > 0 {
+		rep.ExtraProfitFraction = (op.spotRevenue - rackCapex) / base
+	}
+	return rep
+}

@@ -1,0 +1,109 @@
+package proto
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// ErrNoPrice reports that no price broadcast arrived for the awaited slot;
+// per Section III-C the tenant then defaults to "no spot capacity".
+var ErrNoPrice = errors.New("proto: no price broadcast for slot")
+
+// Client is the tenant-side endpoint: it registers racks, submits bids,
+// and awaits the price broadcast each slot.
+type Client struct {
+	tenant string
+	conn   net.Conn
+	codec  *Codec
+}
+
+// Dial connects to the operator and registers the tenant's racks.
+func Dial(addr, tenantName string, racks []string) (*Client, error) {
+	if tenantName == "" {
+		return nil, errors.New("proto: empty tenant name")
+	}
+	conn, err := net.DialTimeout("tcp", addr, deadline)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{tenant: tenantName, conn: conn, codec: NewCodec(conn)}
+	setConnDeadline(conn, deadline)
+	if err := c.codec.Send(Message{Type: TypeHello, Tenant: tenantName, Racks: racks}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	// The server acks the hello with a heartbeat (or rejects with error).
+	msg, err := c.codec.Recv()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if msg.Type == TypeError {
+		conn.Close()
+		return nil, fmt.Errorf("%w: %s", ErrProtocol, msg.Detail)
+	}
+	if msg.Type != TypeHeartBeat {
+		conn.Close()
+		return nil, fmt.Errorf("%w: expected heartbeat ack, got %q", ErrProtocol, msg.Type)
+	}
+	return c, nil
+}
+
+// Tenant returns the registered tenant name.
+func (c *Client) Tenant() string { return c.tenant }
+
+// SubmitBids sends the slot's rack-level demand functions.
+func (c *Client) SubmitBids(slot int, bids []RackBid) error {
+	setConnDeadline(c.conn, deadline)
+	return c.codec.Send(Message{Type: TypeBid, Tenant: c.tenant, Slot: slot, Bids: bids})
+}
+
+// HeartBeat exchanges a keep-alive for the slot.
+func (c *Client) HeartBeat(slot int) error {
+	setConnDeadline(c.conn, deadline)
+	return c.codec.Send(Message{Type: TypeHeartBeat, Tenant: c.tenant, Slot: slot})
+}
+
+// AwaitPrice blocks until the price broadcast for the slot arrives or the
+// timeout expires. Heartbeats, errors for other slots, and stale price
+// messages are skipped. On timeout it returns ErrNoPrice: the tenant must
+// assume no spot capacity.
+func (c *Client) AwaitPrice(slot int, timeout time.Duration) (price float64, grants []Grant, err error) {
+	deadlineAt := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadlineAt)
+		if remaining <= 0 {
+			return 0, nil, ErrNoPrice
+		}
+		_ = c.conn.SetReadDeadline(time.Now().Add(remaining))
+		msg, err := c.codec.Recv()
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				return 0, nil, ErrNoPrice
+			}
+			if errors.Is(err, io.EOF) {
+				return 0, nil, ErrNoPrice
+			}
+			return 0, nil, err
+		}
+		switch {
+		case msg.Type == TypePrice && msg.Slot == slot:
+			return msg.Price, msg.Grants, nil
+		case msg.Type == TypePrice && msg.Slot < slot:
+			continue // stale broadcast
+		case msg.Type == TypeHeartBeat:
+			continue
+		case msg.Type == TypeError:
+			return 0, nil, fmt.Errorf("%w: %s", ErrProtocol, msg.Detail)
+		default:
+			continue
+		}
+	}
+}
+
+// Close terminates the session.
+func (c *Client) Close() error { return c.codec.Close() }

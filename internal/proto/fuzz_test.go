@@ -1,0 +1,37 @@
+package proto
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// FuzzCodecRecv feeds arbitrary bytes to the wire decoder: it must never
+// panic and must either return a typed message or an error.
+func FuzzCodecRecv(f *testing.F) {
+	f.Add([]byte(`{"type":"bid","tenant":"t","slot":1}` + "\n"))
+	f.Add([]byte(`{"type":"hello","tenant":"a","racks":["r1"]}` + "\n"))
+	f.Add([]byte("garbage\n"))
+	f.Add([]byte("{\n"))
+	f.Add([]byte(`{"tenant":"no-type"}` + "\n"))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		a, b := net.Pipe()
+		defer a.Close()
+		codec := NewCodec(b)
+		defer codec.Close()
+		go func() {
+			a.SetDeadline(time.Now().Add(time.Second))
+			a.Write(input)
+			a.Close()
+		}()
+		for {
+			msg, err := codec.Recv()
+			if err != nil {
+				return
+			}
+			if msg.Type == "" {
+				t.Fatal("decoder returned a typeless message without error")
+			}
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package proto
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"spotdc/internal/operator"
+	"spotdc/internal/power"
+)
+
+// SlotClock implements the Fig. 6 timing discipline: wall-clock time is
+// divided into fixed slots; bids for slot t are due before the slot
+// starts, the market clears at the boundary, and the allocation is valid
+// for the whole slot.
+type SlotClock struct {
+	epoch time.Time
+	slot  time.Duration
+}
+
+// NewSlotClock builds a clock with the given slot length, anchored at
+// epoch.
+func NewSlotClock(epoch time.Time, slotLen time.Duration) (*SlotClock, error) {
+	if slotLen <= 0 {
+		return nil, fmt.Errorf("%w: slot length %v", ErrProtocol, slotLen)
+	}
+	return &SlotClock{epoch: epoch, slot: slotLen}, nil
+}
+
+// SlotLen returns the slot duration.
+func (c *SlotClock) SlotLen() time.Duration { return c.slot }
+
+// SlotAt returns the slot index containing t (negative before the epoch).
+func (c *SlotClock) SlotAt(t time.Time) int {
+	d := t.Sub(c.epoch)
+	idx := int(d / c.slot)
+	if d < 0 && d%c.slot != 0 {
+		idx--
+	}
+	return idx
+}
+
+// StartOf returns the wall-clock start of a slot.
+func (c *SlotClock) StartOf(slot int) time.Time {
+	return c.epoch.Add(time.Duration(slot) * c.slot)
+}
+
+// BidDeadline returns the last moment bids for the slot are accepted: the
+// slot's start (bids arrive during the preceding slot, per Fig. 6).
+func (c *SlotClock) BidDeadline(slot int) time.Time { return c.StartOf(slot) }
+
+// MarketLoop drives the operator's Algorithm 1 over the network: each
+// slot boundary it collects the slot's bids from the server, predicts spot
+// capacity from the supplied reading, clears, and broadcasts price and
+// grants. It is the tested core of cmd/spotdc-operator.
+type MarketLoop struct {
+	// Server is the protocol endpoint tenants connect to.
+	Server *Server
+	// Operator clears the market and bills.
+	Operator *operator.Operator
+	// Clock provides slot timing.
+	Clock *SlotClock
+	// Reading supplies the rack-level power snapshot for a slot (the
+	// operator's routine monitoring).
+	Reading func(slot int) power.Reading
+	// RackID maps market rack indices to wire IDs.
+	RackID func(rack int) string
+	// OnSlot, if non-nil, observes every completed slot.
+	OnSlot func(slot int, out operator.SlotOutcome, bids int)
+}
+
+// validate checks the loop wiring.
+func (l *MarketLoop) validate() error {
+	switch {
+	case l.Server == nil:
+		return errors.New("proto: market loop needs a server")
+	case l.Operator == nil:
+		return errors.New("proto: market loop needs an operator")
+	case l.Clock == nil:
+		return errors.New("proto: market loop needs a clock")
+	case l.Reading == nil:
+		return errors.New("proto: market loop needs a reading source")
+	case l.RackID == nil:
+		return errors.New("proto: market loop needs a rack-ID mapper")
+	}
+	return nil
+}
+
+// RunSlots executes the loop for the given slots, sleeping until each
+// slot's boundary. For simulation-speed tests use a clock with millisecond
+// slots. It returns the number of slots that cleared successfully.
+func (l *MarketLoop) RunSlots(fromSlot, slots int) (int, error) {
+	if err := l.validate(); err != nil {
+		return 0, err
+	}
+	if slots <= 0 {
+		return 0, fmt.Errorf("%w: slots %d", ErrProtocol, slots)
+	}
+	slotHours := l.Clock.SlotLen().Hours()
+	cleared := 0
+	for slot := fromSlot; slot < fromSlot+slots; slot++ {
+		if wait := time.Until(l.Clock.StartOf(slot)); wait > 0 {
+			time.Sleep(wait)
+		}
+		bids := l.Server.TakeBids(slot)
+		out, err := l.Operator.RunSlot(bids, l.Reading(slot), slotHours)
+		if err != nil {
+			return cleared, fmt.Errorf("proto: slot %d: %w", slot, err)
+		}
+		l.Server.Broadcast(slot, out.Result.Price, out.Result.Allocations, l.RackID)
+		if l.OnSlot != nil {
+			l.OnSlot(slot, out, len(bids))
+		}
+		cleared++
+	}
+	return cleared, nil
+}

@@ -1,0 +1,250 @@
+package proto
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"spotdc/internal/core"
+)
+
+// RackResolver maps wire rack IDs to market rack indices.
+type RackResolver func(id string) (int, bool)
+
+// Server is the operator-side endpoint of Fig. 5: it accepts tenant
+// sessions, collects their per-slot bids, and broadcasts clearing results.
+// The market loop itself is driven externally (see operator/sim); the
+// server only does transport and validation.
+type Server struct {
+	ln      net.Listener
+	resolve RackResolver
+	logf    func(format string, args ...interface{})
+
+	mu       sync.Mutex
+	closed   bool
+	sessions map[string]*session
+	// bids[slot][tenant] holds validated bids awaiting collection.
+	bids map[int]map[string][]core.Bid
+	wg   sync.WaitGroup
+}
+
+type session struct {
+	tenant string
+	racks  map[string]int // wire ID → rack index
+	codec  *Codec
+	sendMu sync.Mutex
+}
+
+// NewServer listens on addr ("127.0.0.1:0" for an ephemeral port).
+func NewServer(addr string, resolve RackResolver) (*Server, error) {
+	if resolve == nil {
+		return nil, errors.New("proto: nil rack resolver")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln:       ln,
+		resolve:  resolve,
+		logf:     log.Printf,
+		sessions: make(map[string]*session),
+		bids:     make(map[int]map[string][]core.Bid),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// SetLogf replaces the server's logger (tests use a silent one).
+func (s *Server) SetLogf(f func(string, ...interface{})) {
+	if f != nil {
+		s.logf = f
+	}
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	codec := NewCodec(conn)
+	defer codec.Close()
+	setConnDeadline(conn, deadline)
+	hello, err := codec.Recv()
+	if err != nil || hello.Type != TypeHello || hello.Tenant == "" {
+		_ = codec.Send(Message{Type: TypeError, Detail: "expected hello with tenant name"})
+		return
+	}
+	sess := &session{tenant: hello.Tenant, racks: make(map[string]int, len(hello.Racks)), codec: codec}
+	for _, id := range hello.Racks {
+		idx, ok := s.resolve(id)
+		if !ok {
+			_ = codec.Send(Message{Type: TypeError, Detail: fmt.Sprintf("unknown rack %q", id)})
+			return
+		}
+		sess.racks[id] = idx
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if _, dup := s.sessions[hello.Tenant]; dup {
+		s.mu.Unlock()
+		_ = codec.Send(Message{Type: TypeError, Detail: "tenant already connected"})
+		return
+	}
+	s.sessions[hello.Tenant] = sess
+	s.mu.Unlock()
+	_ = sess.send(Message{Type: TypeHeartBeat, Tenant: hello.Tenant})
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.sessions, hello.Tenant)
+		s.mu.Unlock()
+	}()
+	for {
+		setConnDeadline(conn, 10*deadline)
+		msg, err := codec.Recv()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("proto: session %s: %v", hello.Tenant, err)
+			}
+			return
+		}
+		switch msg.Type {
+		case TypeHeartBeat:
+			_ = sess.send(Message{Type: TypeHeartBeat, Tenant: hello.Tenant, Slot: msg.Slot})
+		case TypeBid:
+			if err := s.acceptBids(sess, msg); err != nil {
+				_ = sess.send(Message{Type: TypeError, Slot: msg.Slot, Detail: err.Error()})
+			}
+		default:
+			_ = sess.send(Message{Type: TypeError, Detail: fmt.Sprintf("unexpected %q", msg.Type)})
+		}
+	}
+}
+
+func (sess *session) send(m Message) error {
+	sess.sendMu.Lock()
+	defer sess.sendMu.Unlock()
+	return sess.codec.Send(m)
+}
+
+func (s *Server) acceptBids(sess *session, msg Message) error {
+	converted := make([]core.Bid, 0, len(msg.Bids))
+	for _, rb := range msg.Bids {
+		idx, ok := sess.racks[rb.Rack]
+		if !ok {
+			return fmt.Errorf("rack %q not registered for tenant %s", rb.Rack, sess.tenant)
+		}
+		lb := core.LinearBid{DMax: rb.DMax, DMin: rb.DMin, QMin: rb.QMin, QMax: rb.QMax}
+		if err := lb.Validate(); err != nil {
+			return err
+		}
+		converted = append(converted, core.Bid{Rack: idx, Tenant: sess.tenant, Fn: lb})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slotBids := s.bids[msg.Slot]
+	if slotBids == nil {
+		slotBids = make(map[string][]core.Bid)
+		s.bids[msg.Slot] = slotBids
+	}
+	// A re-submitted bid replaces the tenant's earlier one for the slot.
+	slotBids[sess.tenant] = converted
+	return nil
+}
+
+// TakeBids drains and returns every bid submitted for the slot, and drops
+// any stale bids for earlier slots (they missed their market — the no-spot
+// default applies).
+func (s *Server) TakeBids(slot int) []core.Bid {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []core.Bid
+	for sl, byTenant := range s.bids {
+		if sl > slot {
+			continue
+		}
+		if sl == slot {
+			for _, bs := range byTenant {
+				out = append(out, bs...)
+			}
+		}
+		delete(s.bids, sl)
+	}
+	return out
+}
+
+// Broadcast sends the clearing price and each tenant's own grants for the
+// slot. rackID maps market indices back to wire IDs. Tenants whose
+// connection fails are skipped (they fall back to no spot capacity).
+func (s *Server) Broadcast(slot int, price float64, allocs []core.Allocation, rackID func(int) string) {
+	perTenant := make(map[string][]Grant)
+	for _, a := range allocs {
+		perTenant[a.Tenant] = append(perTenant[a.Tenant], Grant{Rack: rackID(a.Rack), Watts: a.Watts})
+	}
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		msg := Message{Type: TypePrice, Tenant: sess.tenant, Slot: slot, Price: price, Grants: perTenant[sess.tenant]}
+		if err := sess.send(msg); err != nil {
+			s.logf("proto: broadcast to %s failed: %v", sess.tenant, err)
+		}
+	}
+}
+
+// Sessions returns the names of currently connected tenants.
+func (s *Server) Sessions() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.sessions))
+	for name := range s.sessions {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Close shuts the listener and all sessions down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, sess := range sessions {
+		_ = sess.codec.Close()
+	}
+	s.wg.Wait()
+	return err
+}

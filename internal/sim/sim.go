@@ -1,0 +1,397 @@
+// Package sim is the time-slotted simulator tying SpotDC together: it runs
+// Algorithm 1 slot by slot over a scenario (power topology + tenant agents
+// + background load traces), in one of three modes — SpotDC, the
+// PowerCapped status quo, or the owner-operated MaxPerf upper bound — and
+// collects the metrics the paper's evaluation reports.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"spotdc/internal/core"
+	"spotdc/internal/operator"
+	"spotdc/internal/power"
+	"spotdc/internal/stats"
+	"spotdc/internal/tenant"
+	"spotdc/internal/trace"
+	"spotdc/internal/workload"
+)
+
+// Mode selects the capacity-management scheme under simulation.
+type Mode int
+
+const (
+	// ModeSpotDC runs the paper's market (Algorithm 1).
+	ModeSpotDC Mode = iota
+	// ModePowerCapped is the status quo: no spot capacity, tenants cap at
+	// their reservations.
+	ModePowerCapped
+	// ModeMaxPerf is the owner-operated upper bound: the operator sees
+	// tenants' true gain curves and allocates to maximize total gain.
+	ModeMaxPerf
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeSpotDC:
+		return "SpotDC"
+	case ModePowerCapped:
+		return "PowerCapped"
+	case ModeMaxPerf:
+		return "MaxPerf"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Scenario describes one simulation run.
+type Scenario struct {
+	// Name labels the run.
+	Name string
+	// Topo is the power hierarchy; agents reference its rack indices.
+	Topo *power.Topology
+	// Agents are the participating tenants.
+	Agents []tenant.Agent
+	// OtherLoad is one power trace per PDU for the non-participating
+	// ("Other" in Table I) tenants.
+	OtherLoad []*trace.Power
+	// OtherLeasedWatts is the guaranteed capacity leased by the
+	// non-participating tenants (enters the operator's revenue baseline).
+	OtherLeasedWatts float64
+	// Slots is the number of time slots to simulate.
+	Slots int
+	// SlotSeconds is the slot length (the paper uses 1–5 minutes).
+	SlotSeconds int
+	// MarketOptions tunes the clearing search.
+	MarketOptions core.Options
+	// Pricing carries the monetary parameters (DefaultPricing if zero).
+	Pricing operator.Pricing
+	// Predict tunes spot prediction (Fig. 17's under-prediction factor).
+	Predict power.PredictOptions
+	// BreakerTolerance is the excursion fraction breakers ride through.
+	BreakerTolerance float64
+	// Hint, if non-nil, supplies strategic bidders' market information per
+	// slot (Fig. 16).
+	Hint func(slot int) tenant.MarketHint
+	// PriceFeedback, if non-nil, is called after every clearing with the
+	// slot's price (0 when no market ran); lets Hint implementations build
+	// online predictors (e.g. an EWMA) from realized prices.
+	PriceFeedback func(slot int, price float64)
+	// BidLossProb drops each agent's bid submission with this probability,
+	// emulating the Section III-C communication-loss exception: an affected
+	// tenant silently falls back to no spot capacity for the slot.
+	BidLossProb float64
+	// FaultSeed drives the bid-loss process.
+	FaultSeed int64
+}
+
+func (sc *Scenario) validate() error {
+	switch {
+	case sc.Topo == nil:
+		return errors.New("sim: scenario has nil topology")
+	case sc.Slots <= 0:
+		return fmt.Errorf("sim: Slots %d must be positive", sc.Slots)
+	case sc.SlotSeconds <= 0:
+		return fmt.Errorf("sim: SlotSeconds %d must be positive", sc.SlotSeconds)
+	case len(sc.OtherLoad) != len(sc.Topo.PDUs):
+		return fmt.Errorf("sim: %d other-load traces for %d PDUs", len(sc.OtherLoad), len(sc.Topo.PDUs))
+	case sc.BidLossProb < 0 || sc.BidLossProb > 1:
+		return fmt.Errorf("sim: BidLossProb %v outside [0,1]", sc.BidLossProb)
+	}
+	for _, a := range sc.Agents {
+		for _, r := range a.Racks() {
+			if r < 0 || r >= len(sc.Topo.Racks) {
+				return fmt.Errorf("sim: agent %s references rack %d of %d", a.Name(), r, len(sc.Topo.Racks))
+			}
+		}
+	}
+	return nil
+}
+
+// TenantStats accumulates one agent's metrics over a run.
+type TenantStats struct {
+	// Name and Class identify the tenant.
+	Name  string
+	Class workload.Class
+	// Reserved is the agent's total guaranteed capacity in watts.
+	Reserved float64
+	// NeedSlots counts slots where the tenant needed spot capacity
+	// (policy-independent, from its true gain curves); the paper averages
+	// performance over exactly these slots.
+	NeedSlots int
+	// GrantSlots counts slots with a positive spot grant.
+	GrantSlots int
+	// SLOViolations counts missed-SLO slots (sprinting agents).
+	SLOViolations int
+	// PerfNeed averages the performance score over need slots.
+	PerfNeed stats.Running
+	// LatencyNeed averages tail latency over need slots (sprinting).
+	LatencyNeed stats.Running
+	// GrantFrac tracks the spot grant as a fraction of the guaranteed
+	// capacity over need slots (Fig. 12(c)).
+	GrantFrac stats.Running
+	// Payment is the cumulative spot payment in $.
+	Payment float64
+	// EnergyKWh is the cumulative energy drawn.
+	EnergyKWh float64
+	// SpotKWh is the cumulative granted spot energy.
+	SpotKWh float64
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Name and Mode echo the scenario.
+	Name string
+	Mode Mode
+	// Slots and SlotSeconds echo the horizon.
+	Slots       int
+	SlotSeconds int
+	// Prices holds the clearing price of every slot that sold capacity
+	// (Fig. 13(a)).
+	Prices []float64
+	// PriceSeries holds the clearing price of every slot (zero when no
+	// market ran), aligned with the other series (Fig. 10).
+	PriceSeries []float64
+	// SpotAvailable and SpotSold are UPS-level watts per slot (Fig. 10).
+	SpotAvailable []float64
+	SpotSold      []float64
+	// UPSPower is the realized UPS draw per slot in watts (Fig. 13(b)).
+	UPSPower []float64
+	// PDUPower is the realized per-PDU draw per slot (Fig. 7(a)).
+	PDUPower [][]float64
+	// Tenants maps agent name to its accumulated stats.
+	Tenants map[string]*TenantStats
+	// TenantTraces holds per-slot performance scores per agent (Fig. 11);
+	// populated only when Record is set on Run.
+	TenantTraces map[string][]float64
+	// SpotRevenue is the operator's cumulative spot revenue in $.
+	SpotRevenue float64
+	// EmergencySlots counts slots with a capacity excursion beyond breaker
+	// tolerance.
+	EmergencySlots int
+	// LostBids counts bid submissions dropped by fault injection.
+	LostBids int
+	// ClearingTime is the total wall time spent in market clearing, and
+	// Clearings the number of clearing rounds (Fig. 7(b)).
+	ClearingTime time.Duration
+	Clearings    int
+	// Operator exposes the operator for profit reporting.
+	Operator *operator.Operator
+}
+
+// Hours returns the simulated duration in hours.
+func (r *Result) Hours() float64 {
+	return float64(r.Slots) * float64(r.SlotSeconds) / 3600
+}
+
+// Profit returns the operator's profit report for the run.
+func (r *Result) Profit(otherLeasedWatts float64) operator.ProfitReport {
+	return r.Operator.Profit(r.Hours(), otherLeasedWatts)
+}
+
+// RunOptions tunes a simulation run.
+type RunOptions struct {
+	// Mode selects the scheme (default ModeSpotDC).
+	Mode Mode
+	// Record enables per-slot tenant performance traces (Fig. 10/11);
+	// leave off for year-long runs.
+	Record bool
+}
+
+// Run simulates the scenario.
+func Run(sc Scenario, opts RunOptions) (*Result, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	op, err := operator.New(operator.Config{
+		Topology:      sc.Topo,
+		MarketOptions: sc.MarketOptions,
+		Pricing:       sc.Pricing,
+		Predict:       sc.Predict,
+	})
+	if err != nil {
+		return nil, err
+	}
+	slotHours := float64(sc.SlotSeconds) / 3600
+	res := &Result{
+		Name:          sc.Name,
+		Mode:          opts.Mode,
+		Slots:         sc.Slots,
+		SlotSeconds:   sc.SlotSeconds,
+		PriceSeries:   make([]float64, 0, sc.Slots),
+		SpotAvailable: make([]float64, 0, sc.Slots),
+		SpotSold:      make([]float64, 0, sc.Slots),
+		UPSPower:      make([]float64, 0, sc.Slots),
+		PDUPower:      make([][]float64, len(sc.Topo.PDUs)),
+		Tenants:       make(map[string]*TenantStats, len(sc.Agents)),
+		Operator:      op,
+	}
+	if opts.Record {
+		res.TenantTraces = make(map[string][]float64, len(sc.Agents))
+	}
+	for _, a := range sc.Agents {
+		ts := &TenantStats{Name: a.Name(), Class: a.Class()}
+		for _, r := range a.Racks() {
+			ts.Reserved += a.ReservedWatts(r)
+		}
+		if _, dup := res.Tenants[a.Name()]; dup {
+			return nil, fmt.Errorf("sim: duplicate agent name %q", a.Name())
+		}
+		res.Tenants[a.Name()] = ts
+	}
+
+	// The reference reading for slot 0: every rack at its guaranteed
+	// capacity, others at their first trace point.
+	reading := power.Reading{
+		RackWatts:     make([]float64, len(sc.Topo.Racks)),
+		OtherPDUWatts: make([]float64, len(sc.Topo.PDUs)),
+	}
+	for i, r := range sc.Topo.Racks {
+		reading.RackWatts[i] = r.Guaranteed
+	}
+	for m := range sc.Topo.PDUs {
+		reading.OtherPDUWatts[m] = sc.OtherLoad[m].At(0)
+	}
+
+	var faults *rand.Rand
+	if sc.BidLossProb > 0 {
+		faults = rand.New(rand.NewSource(sc.FaultSeed))
+	}
+	grants := make(map[int]float64)
+	for slot := 0; slot < sc.Slots; slot++ {
+		hint := tenant.MarketHint{}
+		if sc.Hint != nil {
+			hint = sc.Hint(slot)
+		}
+		for k := range grants {
+			delete(grants, k)
+		}
+		price, sold, avail := 0.0, 0.0, 0.0
+
+		switch opts.Mode {
+		case ModeSpotDC:
+			var bids []core.Bid
+			for _, a := range sc.Agents {
+				if faults != nil && faults.Float64() < sc.BidLossProb {
+					// Communication loss: the submission never arrives and
+					// the tenant defaults to no spot capacity this slot.
+					res.LostBids++
+					continue
+				}
+				bids = append(bids, a.PlanBids(slot, hint)...)
+			}
+			start := time.Now()
+			out, err := op.RunSlot(bids, reading, slotHours)
+			if err != nil {
+				return nil, fmt.Errorf("sim: slot %d: %w", slot, err)
+			}
+			res.ClearingTime += time.Since(start)
+			res.Clearings++
+			for _, a := range out.Result.Allocations {
+				if a.Watts > 0 {
+					grants[a.Rack] += a.Watts
+				}
+			}
+			price, sold, avail = out.Result.Price, out.Result.TotalWatts, out.Spot.UPSWatts
+			if sold > 0 {
+				res.Prices = append(res.Prices, price)
+			}
+			// Per-tenant billing for this slot.
+			for _, alloc := range out.Result.Allocations {
+				if alloc.Watts > 0 && alloc.Tenant != "" {
+					if ts := res.Tenants[alloc.Tenant]; ts != nil {
+						ts.Payment += out.Result.Price * alloc.Watts / 1000 * slotHours
+					}
+				}
+			}
+		case ModeMaxPerf:
+			var reqs []core.MaxPerfRequest
+			for _, a := range sc.Agents {
+				reqs = append(reqs, a.MaxPerfRequests(slot)...)
+			}
+			allocs, spot, err := op.MaxPerfSlot(reqs, reading)
+			if err != nil {
+				return nil, fmt.Errorf("sim: slot %d: %w", slot, err)
+			}
+			for _, a := range allocs {
+				if a.Watts > 0 {
+					grants[a.Rack] += a.Watts
+					sold += a.Watts
+				}
+			}
+			avail = spot.UPSWatts
+		case ModePowerCapped:
+			// No market, no grants.
+		default:
+			return nil, fmt.Errorf("sim: unknown mode %v", opts.Mode)
+		}
+
+		// Execute every agent and assemble the realized reading.
+		for m := range sc.Topo.PDUs {
+			reading.OtherPDUWatts[m] = sc.OtherLoad[m].At(slot)
+		}
+		for _, a := range sc.Agents {
+			needed := len(a.MaxPerfRequests(slot)) > 0
+			slotRes := a.Execute(slot, grants)
+			ts := res.Tenants[a.Name()]
+			for rack, w := range slotRes.PowerByRack {
+				reading.RackWatts[rack] = w
+			}
+			ts.EnergyKWh += slotRes.PowerWatts / 1000 * slotHours
+			ts.SpotKWh += slotRes.SpotGrantWatts / 1000 * slotHours
+			if slotRes.SpotGrantWatts > 0 {
+				ts.GrantSlots++
+			}
+			if slotRes.SLOViolated {
+				ts.SLOViolations++
+			}
+			if needed {
+				ts.NeedSlots++
+				ts.PerfNeed.Observe(slotRes.PerfScore)
+				if a.Class() == workload.Sprinting {
+					ts.LatencyNeed.Observe(slotRes.LatencyMS)
+				}
+				if ts.Reserved > 0 {
+					ts.GrantFrac.Observe(slotRes.SpotGrantWatts / ts.Reserved)
+				}
+			}
+			if opts.Record {
+				res.TenantTraces[a.Name()] = append(res.TenantTraces[a.Name()], slotRes.PerfScore)
+			}
+		}
+
+		if sc.PriceFeedback != nil {
+			sc.PriceFeedback(slot, price)
+		}
+		if em := op.ObserveEmergencies(reading, sc.BreakerTolerance); len(em) > 0 {
+			res.EmergencySlots++
+		}
+		res.PriceSeries = append(res.PriceSeries, price)
+		res.SpotSold = append(res.SpotSold, sold)
+		res.SpotAvailable = append(res.SpotAvailable, avail)
+		res.UPSPower = append(res.UPSPower, sc.Topo.UPSPower(reading))
+		for m := range sc.Topo.PDUs {
+			res.PDUPower[m] = append(res.PDUPower[m], sc.Topo.PDUPower(reading, m))
+		}
+	}
+	res.SpotRevenue = op.SpotRevenue()
+	return res, nil
+}
+
+// TenantCost computes a tenant's total cost over the run in dollars:
+// guaranteed-capacity subscription + metered energy + spot payments
+// (Fig. 12(a)).
+func TenantCost(r *Result, pricing operator.Pricing, name string) (float64, error) {
+	ts, ok := r.Tenants[name]
+	if !ok {
+		return 0, fmt.Errorf("sim: unknown tenant %q", name)
+	}
+	hours := r.Hours()
+	subscription := pricing.GuaranteedRevenueRate(ts.Reserved) * hours
+	energy := ts.EnergyKWh * pricing.EnergyPerKWh
+	return subscription + energy + ts.Payment, nil
+}

@@ -1,0 +1,164 @@
+package tenant
+
+import (
+	"testing"
+
+	"spotdc/internal/core"
+	"spotdc/internal/workload"
+)
+
+// newBundle builds a two-tier web service: an Nginx-like front end and a
+// MySQL-like back end, mirroring the paper's Web Serving benchmark split
+// across two racks.
+func newBundle(load float64) *BundledSprint {
+	front := workload.WebModel()
+	back := workload.WebModel()
+	back.Name = "web-db"
+	back.MaxRate = 140 // the back end is slightly faster per watt
+	return &BundledSprint{
+		TenantName: "Web",
+		Tiers: []Tier{
+			{Rack: 0, Model: front, Reserved: 100, Headroom: 50},
+			{Rack: 1, Model: back, Reserved: 100, Headroom: 50},
+		},
+		Cost: workload.SprintCost{A: 2e-6, B: 8e-7, SLOms: 200},
+		Load: constLoad(load, 10),
+		QMin: 0.05,
+		QMax: 0.6,
+	}
+}
+
+func TestBundledIdentity(t *testing.T) {
+	b := newBundle(80)
+	if b.Name() != "Web" || b.Class() != workload.Sprinting {
+		t.Error("identity wrong")
+	}
+	racks := b.Racks()
+	if len(racks) != 2 || racks[0] != 0 || racks[1] != 1 {
+		t.Errorf("Racks = %v", racks)
+	}
+	if b.ReservedWatts(0) != 100 || b.ReservedWatts(1) != 100 || b.ReservedWatts(7) != 0 {
+		t.Error("ReservedWatts wrong")
+	}
+}
+
+func TestBundledBidsSharePrices(t *testing.T) {
+	b := newBundle(80)
+	bids := b.PlanBids(0, MarketHint{})
+	if len(bids) != 2 {
+		t.Fatalf("bids = %v (end-to-end latency at 80 req/s should demand spot)", bids)
+	}
+	lb0, ok0 := bids[0].Fn.(core.LinearBid)
+	lb1, ok1 := bids[1].Fn.(core.LinearBid)
+	if !ok0 || !ok1 {
+		t.Fatalf("bundle produced %T / %T", bids[0].Fn, bids[1].Fn)
+	}
+	// Section III-B3: one shared (qmin, qmax) pair across the bundle.
+	if lb0.QMin != lb1.QMin || lb0.QMax != lb1.QMax {
+		t.Errorf("bundle prices differ: %+v vs %+v", lb0, lb1)
+	}
+	if lb0.DMax <= 0 && lb1.DMax <= 0 {
+		t.Error("bundle demands nothing")
+	}
+	if lb0.DMax > 50+1e-9 || lb1.DMax > 50+1e-9 {
+		t.Errorf("bundle exceeds headroom: %v / %v", lb0.DMax, lb1.DMax)
+	}
+}
+
+func TestBundledQuietSlotsNoBid(t *testing.T) {
+	if bids := newBundle(10).PlanBids(0, MarketHint{}); bids != nil {
+		t.Errorf("low load bundle bid: %v", bids)
+	}
+	if bids := newBundle(0).PlanBids(0, MarketHint{}); bids != nil {
+		t.Errorf("zero load bundle bid: %v", bids)
+	}
+}
+
+func TestBundledExecute(t *testing.T) {
+	b := newBundle(80)
+	without := b.Execute(0, nil)
+	if !without.SLOViolated {
+		t.Fatalf("premise: no-spot latency %v should violate 200 ms SLO", without.LatencyMS)
+	}
+	with := b.Execute(0, map[int]float64{0: 40, 1: 40})
+	if with.LatencyMS >= without.LatencyMS {
+		t.Errorf("latency: %v → %v", without.LatencyMS, with.LatencyMS)
+	}
+	if with.SpotGrantWatts != 80 {
+		t.Errorf("grant total = %v", with.SpotGrantWatts)
+	}
+	if with.PowerWatts > 100+100+80+1e-9 {
+		t.Errorf("drew %v beyond budget", with.PowerWatts)
+	}
+	idle := newBundle(0).Execute(0, map[int]float64{0: 10})
+	if idle.SLOViolated || idle.LatencyMS != 0 {
+		t.Errorf("idle execute: %+v", idle)
+	}
+}
+
+func TestBundledJointDemandReflectsBottleneck(t *testing.T) {
+	// Make the front end the bottleneck — tight enough that it needs most
+	// of its headroom, but recoverable (a starved tier whose full headroom
+	// still saturates would rationally get nothing).
+	b := newBundle(80)
+	b.Tiers[0].Reserved = 105
+	b.Tiers[1].Reserved = 130
+	bids := b.PlanBids(0, MarketHint{})
+	if len(bids) != 2 {
+		t.Fatalf("bids = %v", bids)
+	}
+	d0 := bids[0].Fn.Demand(b.QMin)
+	d1 := bids[1].Fn.Demand(b.QMin)
+	if d0 <= d1 {
+		t.Errorf("bottleneck tier demanded %v, relaxed tier %v; want more on the bottleneck", d0, d1)
+	}
+}
+
+func TestBundledMaxPerfRequests(t *testing.T) {
+	b := newBundle(80)
+	reqs := b.MaxPerfRequests(0)
+	if len(reqs) != 2 {
+		t.Fatalf("reqs = %+v", reqs)
+	}
+	for _, r := range reqs {
+		if r.MaxWatts <= 0 || r.MaxWatts > 50+1e-9 {
+			t.Errorf("rack %d MaxWatts = %v", r.Rack, r.MaxWatts)
+		}
+		if g := r.Gain(r.MaxWatts); g < 0 {
+			t.Errorf("rack %d gain = %v", r.Rack, g)
+		}
+	}
+	if reqs := newBundle(5).MaxPerfRequests(0); reqs != nil {
+		t.Error("quiet bundle should have no MaxPerf requests")
+	}
+}
+
+func TestBundledClearsInMarket(t *testing.T) {
+	// End-to-end: the bundle's bids clear against a real market and the
+	// granted vector improves the end-to-end latency.
+	b := newBundle(80)
+	cons := core.Constraints{
+		RackHeadroom: []float64{50, 50},
+		RackPDU:      []int{0, 0},
+		PDUSpot:      []float64{100},
+		UPSSpot:      100,
+	}
+	mkt, err := core.NewMarket(cons, core.Options{PriceStep: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bids := b.PlanBids(0, MarketHint{})
+	res, err := mkt.Clear(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grants := map[int]float64{}
+	for _, a := range res.Allocations {
+		grants[a.Rack] = a.Watts
+	}
+	before := b.Execute(0, nil)
+	after := b.Execute(0, grants)
+	if after.LatencyMS >= before.LatencyMS {
+		t.Errorf("market grants did not improve latency: %v → %v", before.LatencyMS, after.LatencyMS)
+	}
+}

@@ -1,0 +1,99 @@
+package workload
+
+// Presets calibrated to the paper's scaled-down testbed (Table I). Each
+// "rack" is one server; guaranteed subscriptions are chosen per Table I and
+// the models are tuned so that (a) the guaranteed budget sustains normal
+// load at the SLO, (b) high-load slots violate the SLO without spot
+// capacity, and (c) full power yields the paper's 1.2–1.8× performance
+// band over the capped baseline.
+
+// SearchModel reproduces the CloudSuite web-search tenant (aliases S-1,
+// S-3; 145 W subscription; p99 SLO 100 ms).
+func SearchModel() LatencyModel {
+	return LatencyModel{
+		Name:      "search",
+		IdleWatts: 60,
+		PeakWatts: 205,
+		MaxRate:   150,
+		BaseMS:    35,
+		CapMS:     400,
+		Exponent:  1,
+	}
+}
+
+// WebModel reproduces the CloudSuite web-serving tenant (alias S-2; 115 W
+// subscription; p90 SLO 100 ms).
+func WebModel() LatencyModel {
+	return LatencyModel{
+		Name:      "web",
+		IdleWatts: 55,
+		PeakWatts: 165,
+		MaxRate:   120,
+		BaseMS:    40,
+		CapMS:     400,
+		Exponent:  1,
+	}
+}
+
+// WordCountModel reproduces the Hadoop WordCount tenant (aliases O-1, O-3;
+// 125 W subscription; throughput in MB/s of input processed).
+func WordCountModel() ThroughputModel {
+	return ThroughputModel{
+		Name:      "wordcount",
+		IdleWatts: 55,
+		PeakWatts: 185,
+		MaxUnits:  50,
+		Exponent:  0.8,
+	}
+}
+
+// TeraSortModel reproduces the Hadoop TeraSort tenant (alias O-4; 125 W
+// subscription; throughput in MB/s sorted).
+func TeraSortModel() ThroughputModel {
+	return ThroughputModel{
+		Name:      "terasort",
+		IdleWatts: 55,
+		PeakWatts: 185,
+		MaxUnits:  40,
+		Exponent:  0.8,
+	}
+}
+
+// GraphModel reproduces the PowerGraph analytics tenant (aliases O-2, O-5;
+// 115 W subscription; throughput in thousands of nodes processed per
+// second).
+func GraphModel() ThroughputModel {
+	return ThroughputModel{
+		Name:      "graph",
+		IdleWatts: 50,
+		PeakWatts: 165,
+		MaxUnits:  30,
+		Exponent:  0.8,
+	}
+}
+
+// DefaultSprintCost returns the Section IV-C cost parameters used for the
+// Search tenants (highest bidders). The scale is small — sub-dollar
+// hourly gains — because the testbed is scaled down, exactly as the paper
+// notes for Fig. 9.
+// The quadratic SLO-violation penalty dominates the linear term: tenants
+// buy enough spot capacity to restore the SLO but little beyond it, which
+// keeps their cost increase marginal (Fig. 12(a)) and makes sprinting
+// tenants take *less* spot (in % of reservation) than opportunistic ones
+// (Fig. 12(c)).
+func DefaultSprintCost() SprintCost {
+	return SprintCost{A: 1e-9, B: 1.2e-11, SLOms: 100}
+}
+
+// WebSprintCost returns the cost parameters for the Web tenant, which bids
+// a medium price.
+func WebSprintCost() SprintCost {
+	return SprintCost{A: 1e-9, B: 6e-12, SLOms: 100}
+}
+
+// DefaultOppCost returns the cost parameters for opportunistic tenants,
+// who bid the lowest prices (never above the amortized guaranteed-capacity
+// rate of ≈$0.2/kW·h).
+func DefaultOppCost() OppCost {
+	return OppCost{DollarPerUnit: 2e-6}
+}

@@ -1,0 +1,341 @@
+// Package spotdc is a Go implementation of SpotDC, the spot power-capacity
+// market for multi-tenant data centers from "A Spot Capacity Market to
+// Increase Power Infrastructure Utilization in Multi-Tenant Data Centers"
+// (HPCA 2018).
+//
+// A multi-tenant (colocation) data center leases guaranteed power capacity
+// to tenants who run their own servers. The aggregate demand fluctuates,
+// leaving unused headroom — spot capacity — at the shared PDUs and UPS.
+// SpotDC sells that headroom per time slot: tenants submit a four-parameter
+// piece-wise linear demand function per rack, and the operator picks the
+// uniform price maximizing its revenue subject to rack, PDU and UPS
+// capacity constraints.
+//
+// The package surface mirrors the system's layers:
+//
+//   - Topology / NewTopology describe the power-delivery tree.
+//   - LinearBid, StepBid, FullBid and Market / NewMarket implement demand
+//     function bidding and uniform-price clearing (the paper's core).
+//   - Operator / NewOperator add spot prediction, billing and profit
+//     accounting (Algorithm 1).
+//   - Sprint, Opp and BundledSprint are ready-made tenant agents with the
+//     paper's workload and cost models.
+//   - Testbed, Scaled, Run and Mode* reproduce the paper's evaluation
+//     scenarios end to end.
+//   - RunExperiment regenerates any of the paper's tables and figures.
+//
+// Quick start (one market round):
+//
+//	topo, _ := spotdc.NewTopology(1370,
+//		[]spotdc.PDU{{ID: "PDU#1", Capacity: 715}},
+//		[]spotdc.Rack{{ID: "S-1", Tenant: "search", PDU: 0, Guaranteed: 145, SpotHeadroom: 60}})
+//	op, _ := spotdc.NewOperator(spotdc.OperatorConfig{Topology: topo})
+//	out, _ := op.RunSlot([]spotdc.Bid{{
+//		Rack: 0, Tenant: "search",
+//		Fn:   spotdc.LinearBid{DMax: 40, DMin: 15, QMin: 0.1, QMax: 0.4},
+//	}}, reading, 2.0/60)
+//	fmt.Println(out.Result.Price, out.Result.TotalWatts)
+//
+// See examples/ for runnable programs and DESIGN.md / EXPERIMENTS.md for
+// the reproduction methodology.
+package spotdc
+
+import (
+	"time"
+
+	"spotdc/internal/billing"
+	"spotdc/internal/capping"
+	"spotdc/internal/config"
+	"spotdc/internal/core"
+	"spotdc/internal/experiments"
+	"spotdc/internal/operator"
+	"spotdc/internal/power"
+	"spotdc/internal/proto"
+	"spotdc/internal/sim"
+	"spotdc/internal/tenant"
+	"spotdc/internal/trace"
+	"spotdc/internal/workload"
+)
+
+// Power hierarchy (internal/power).
+type (
+	// Topology is the UPS → PDU → rack power-delivery tree.
+	Topology = power.Topology
+	// PDU is one cluster-level power distribution unit.
+	PDU = power.PDU
+	// Rack is one tenant rack with guaranteed capacity and spot headroom.
+	Rack = power.Rack
+	// Reading is a per-rack power snapshot.
+	Reading = power.Reading
+	// Spot is the available spot capacity at every level for one slot.
+	Spot = power.Spot
+	// PredictOptions tunes spot-capacity prediction.
+	PredictOptions = power.PredictOptions
+	// Emergency is a capacity excursion report.
+	Emergency = power.Emergency
+)
+
+// NewTopology validates and indexes a power topology.
+func NewTopology(upsCapacity float64, pdus []PDU, racks []Rack) (*Topology, error) {
+	return power.NewTopology(upsCapacity, pdus, racks)
+}
+
+// Market design (internal/core — the paper's contribution).
+type (
+	// DemandFunc is a rack's spot-capacity demand as a function of price.
+	DemandFunc = core.DemandFunc
+	// LinearBid is the paper's four-parameter piece-wise linear demand
+	// function (Fig. 3(a)).
+	LinearBid = core.LinearBid
+	// StepBid is the Amazon-style all-or-nothing demand function.
+	StepBid = core.StepBid
+	// FullBid is a completely sampled demand curve.
+	FullBid = core.FullBid
+	// PricePoint samples a full demand curve.
+	PricePoint = core.PricePoint
+	// Bid pairs a rack with its demand function.
+	Bid = core.Bid
+	// Constraints carries the Eqn. (2)–(4) capacity limits.
+	Constraints = core.Constraints
+	// Market clears spot capacity at a uniform revenue-maximizing price.
+	Market = core.Market
+	// MarketOptions tunes the clearing-price search.
+	MarketOptions = core.Options
+	// Allocation is one rack's granted spot capacity.
+	Allocation = core.Allocation
+	// ClearingResult is the outcome of one market clearing.
+	ClearingResult = core.Result
+	// MaxPerfRequest exposes a rack's true gain curve to the MaxPerf
+	// baseline.
+	MaxPerfRequest = core.MaxPerfRequest
+	// GainFunc maps granted watts to performance gain in $/h.
+	GainFunc = core.GainFunc
+)
+
+// Optional Section III-A constraints (heat density, phase balance).
+type (
+	// Extras carries the optional zone and phase constraints.
+	Extras = core.Extras
+	// Zone is a heat-density (cooling) constraint over a set of racks.
+	Zone = core.Zone
+	// PhaseOf assigns racks to three-phase feeds.
+	PhaseOf = core.PhaseOf
+)
+
+// NewMarket builds a clearing engine over the given constraints.
+func NewMarket(cons Constraints, opts MarketOptions) (*Market, error) {
+	return core.NewMarket(cons, opts)
+}
+
+// NewFullBid builds a FullBid from demand-curve samples.
+func NewFullBid(points []PricePoint) (*FullBid, error) {
+	return core.NewFullBid(points)
+}
+
+// BundleBids builds the per-rack linear bids of a multi-rack (bundled)
+// demand vector (Section III-B3).
+func BundleBids(tenantName string, racks []int, dMax, dMin []float64, qMin, qMax float64) ([]Bid, error) {
+	return core.Bundle(tenantName, racks, dMax, dMin, qMin, qMax)
+}
+
+// MaxPerf allocates spot capacity to maximize total performance gain — the
+// owner-operated baseline of Section V-B.
+func MaxPerf(cons Constraints, reqs []MaxPerfRequest, quantumWatts float64) ([]Allocation, error) {
+	return core.MaxPerf(cons, reqs, core.MaxPerfOptions{QuantumWatts: quantumWatts})
+}
+
+// Operator runtime (internal/operator).
+type (
+	// Operator runs the per-slot SpotDC control loop with billing.
+	Operator = operator.Operator
+	// OperatorConfig assembles an Operator.
+	OperatorConfig = operator.Config
+	// Pricing carries the monetary parameters of the evaluation.
+	Pricing = operator.Pricing
+	// SlotOutcome reports one slot of market operation.
+	SlotOutcome = operator.SlotOutcome
+	// ProfitReport summarizes operator profit vs the no-spot baseline.
+	ProfitReport = operator.ProfitReport
+)
+
+// NewOperator builds the operator for a topology.
+func NewOperator(cfg OperatorConfig) (*Operator, error) { return operator.New(cfg) }
+
+// DefaultPricing returns the paper's evaluation parameters.
+func DefaultPricing() Pricing { return operator.DefaultPricing() }
+
+// Tenant agents (internal/tenant) and workload models (internal/workload).
+type (
+	// Agent is a tenant participating in the market.
+	Agent = tenant.Agent
+	// Sprint is a latency-sensitive (sprinting) tenant agent.
+	Sprint = tenant.Sprint
+	// Opp is a delay-tolerant (opportunistic) tenant agent.
+	Opp = tenant.Opp
+	// BundledSprint is a multi-rack tenant bidding a bundled demand vector.
+	BundledSprint = tenant.BundledSprint
+	// Tier is one rack of a BundledSprint.
+	Tier = tenant.Tier
+	// BidPolicy selects a bidding strategy.
+	BidPolicy = tenant.BidPolicy
+	// MarketHint carries strategic bidders' price information.
+	MarketHint = tenant.MarketHint
+	// LatencyModel is a tail-latency workload's power-performance model.
+	LatencyModel = workload.LatencyModel
+	// ThroughputModel is a batch workload's power-performance model.
+	ThroughputModel = workload.ThroughputModel
+	// SprintCost is the linear + quadratic-beyond-SLO cost model.
+	SprintCost = workload.SprintCost
+	// OppCost is the linear completion-time cost model.
+	OppCost = workload.OppCost
+	// LoadTrace is a sampled load or power time series.
+	LoadTrace = trace.Power
+)
+
+// Bidding policies (re-exported from internal/tenant).
+const (
+	PolicyElastic      = tenant.PolicyElastic
+	PolicySimple       = tenant.PolicySimple
+	PolicyStep         = tenant.PolicyStep
+	PolicyFull         = tenant.PolicyFull
+	PolicyPricePredict = tenant.PolicyPricePredict
+)
+
+// Simulation (internal/sim).
+type (
+	// Scenario describes a simulation run.
+	Scenario = sim.Scenario
+	// SimMode selects SpotDC, PowerCapped or MaxPerf.
+	SimMode = sim.Mode
+	// RunOptions tunes a simulation run.
+	RunOptions = sim.RunOptions
+	// SimResult is a simulation outcome with per-tenant statistics.
+	SimResult = sim.Result
+	// TenantStats accumulates one tenant's metrics over a run.
+	TenantStats = sim.TenantStats
+	// TestbedOptions parameterizes the Table I scenario.
+	TestbedOptions = sim.TestbedOptions
+	// ScaledOptions parameterizes the large-scale scenario.
+	ScaledOptions = sim.ScaledOptions
+)
+
+// Simulation modes.
+const (
+	ModeSpotDC      = sim.ModeSpotDC
+	ModePowerCapped = sim.ModePowerCapped
+	ModeMaxPerf     = sim.ModeMaxPerf
+)
+
+// Testbed builds the paper's Table I scenario.
+func Testbed(opt TestbedOptions) (Scenario, error) { return sim.Testbed(opt) }
+
+// Scaled builds the replicated large-scale scenario (Fig. 18).
+func Scaled(opt ScaledOptions) (Scenario, error) { return sim.Scaled(opt) }
+
+// Run simulates a scenario.
+func Run(sc Scenario, opts RunOptions) (*SimResult, error) { return sim.Run(sc, opts) }
+
+// TenantCost computes a tenant's total cost over a run (subscription +
+// energy + spot payments).
+func TenantCost(r *SimResult, pricing Pricing, name string) (float64, error) {
+	return sim.TenantCost(r, pricing, name)
+}
+
+// Network protocol (internal/proto — the Fig. 5 operator↔tenant API).
+type (
+	// MarketServer is the operator-side protocol endpoint.
+	MarketServer = proto.Server
+	// MarketClient is the tenant-side protocol endpoint.
+	MarketClient = proto.Client
+	// RackBid is the wire form of the four-parameter demand function.
+	RackBid = proto.RackBid
+	// Grant is one rack's allocation in a price broadcast.
+	Grant = proto.Grant
+	// RackResolver maps wire rack IDs to market rack indices.
+	RackResolver = proto.RackResolver
+)
+
+// ErrNoPrice reports a missed price broadcast; the tenant then defaults to
+// no spot capacity (Section III-C).
+var ErrNoPrice = proto.ErrNoPrice
+
+// Networked market loop (Fig. 5/6).
+type (
+	// MarketLoop drives Algorithm 1 over the network per slot boundary.
+	MarketLoop = proto.MarketLoop
+	// SlotClock implements the Fig. 6 slot timing discipline.
+	SlotClock = proto.SlotClock
+)
+
+// NewSlotClock builds a slot clock anchored at epoch.
+func NewSlotClock(epoch time.Time, slotLen time.Duration) (*SlotClock, error) {
+	return proto.NewSlotClock(epoch, slotLen)
+}
+
+// NewMarketServer starts the operator-side protocol endpoint.
+func NewMarketServer(addr string, resolve RackResolver) (*MarketServer, error) {
+	return proto.NewServer(addr, resolve)
+}
+
+// DialMarket connects a tenant to the operator and registers its racks.
+func DialMarket(addr, tenantName string, racks []string) (*MarketClient, error) {
+	return proto.Dial(addr, tenantName, racks)
+}
+
+// Power capping (internal/capping).
+type (
+	// CapController is the PI power-capping controller tenants use to
+	// honour changing budgets (guaranteed + spot).
+	CapController = capping.Controller
+	// CapConfig parameterizes a CapController.
+	CapConfig = capping.Config
+	// ServerModel is the actuator→power plant model.
+	ServerModel = capping.ServerModel
+)
+
+// NewCapController builds a power-capping controller.
+func NewCapController(cfg CapConfig) (*CapController, error) { return capping.New(cfg) }
+
+// Billing (internal/billing).
+type (
+	// Invoice is one tenant's bill for a period.
+	Invoice = billing.Invoice
+	// InvoiceItem is one line of an Invoice.
+	InvoiceItem = billing.LineItem
+	// Ledger accumulates per-slot usage into invoices.
+	Ledger = billing.Ledger
+)
+
+// NewLedger builds a billing ledger under the given pricing.
+func NewLedger(pricing Pricing) (*Ledger, error) { return billing.NewLedger(pricing) }
+
+// Invoices builds every tenant's invoice from a finished simulation run.
+func Invoices(res *SimResult, pricing Pricing) ([]Invoice, error) {
+	return billing.FromSimResult(res, pricing)
+}
+
+// Declarative configuration (internal/config).
+type (
+	// ScenarioConfig is the JSON-serializable scenario description used by
+	// cmd/spotdc-sim -config.
+	ScenarioConfig = config.Scenario
+)
+
+// LoadScenarioConfig reads a scenario configuration file.
+func LoadScenarioConfig(path string) (*ScenarioConfig, error) { return config.Load(path) }
+
+// Experiments (internal/experiments).
+type (
+	// ExperimentReport is a printable experiment result.
+	ExperimentReport = experiments.Report
+	// ExperimentOptions tunes experiment horizons and scales.
+	ExperimentOptions = experiments.Options
+)
+
+// Experiments lists the available experiment IDs (table1, fig2b, ...).
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one of the paper's tables or figures.
+func RunExperiment(id string, opt ExperimentOptions) (*ExperimentReport, error) {
+	return experiments.Run(id, opt)
+}

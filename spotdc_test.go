@@ -1,0 +1,169 @@
+package spotdc_test
+
+import (
+	"math"
+	"testing"
+
+	"spotdc"
+)
+
+// reading for the quickstart topology used across these tests.
+func quickTopo(t *testing.T) *spotdc.Topology {
+	t.Helper()
+	topo, err := spotdc.NewTopology(1370,
+		[]spotdc.PDU{{ID: "PDU#1", Capacity: 715}, {ID: "PDU#2", Capacity: 724}},
+		[]spotdc.Rack{
+			{ID: "S-1", Tenant: "search", PDU: 0, Guaranteed: 145, SpotHeadroom: 60},
+			{ID: "O-1", Tenant: "count", PDU: 0, Guaranteed: 125, SpotHeadroom: 60},
+			{ID: "S-3", Tenant: "search2", PDU: 1, Guaranteed: 145, SpotHeadroom: 60},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestPublicMarketRound(t *testing.T) {
+	topo := quickTopo(t)
+	op, err := spotdc.NewOperator(spotdc.OperatorConfig{
+		Topology:      topo,
+		MarketOptions: spotdc.MarketOptions{PriceStep: 0.001},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reading := spotdc.Reading{
+		RackWatts:     []float64{120, 100, 120},
+		OtherPDUWatts: []float64{200, 200},
+	}
+	bids := []spotdc.Bid{
+		{Rack: 0, Tenant: "search", Fn: spotdc.LinearBid{DMax: 40, DMin: 15, QMin: 0.18, QMax: 0.45}},
+		{Rack: 1, Tenant: "count", Fn: spotdc.LinearBid{DMax: 60, DMin: 6, QMin: 0.02, QMax: 0.18}},
+	}
+	out, err := op.RunSlot(bids, reading, 2.0/60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.TotalWatts <= 0 || out.Result.Price <= 0 {
+		t.Errorf("clearing: %+v", out.Result)
+	}
+	if op.SpotRevenue() != out.RevenueThisSlot {
+		t.Error("revenue accounting mismatch")
+	}
+}
+
+func TestPublicDemandFunctions(t *testing.T) {
+	var fns []spotdc.DemandFunc
+	fns = append(fns, spotdc.LinearBid{DMax: 50, DMin: 10, QMin: 0.1, QMax: 0.3})
+	fns = append(fns, spotdc.StepBid{D: 40, QMax: 0.2})
+	fb, err := spotdc.NewFullBid([]spotdc.PricePoint{{Price: 0.1, Demand: 50}, {Price: 0.3, Demand: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fns = append(fns, fb)
+	for _, fn := range fns {
+		if fn.Demand(0) <= 0 {
+			t.Errorf("%T demands nothing at price 0", fn)
+		}
+		if fn.Demand(fn.MaxPrice()+0.01) != 0 {
+			t.Errorf("%T demands above max price", fn)
+		}
+	}
+}
+
+func TestPublicBundleBids(t *testing.T) {
+	bids, err := spotdc.BundleBids("web", []int{0, 2}, []float64{40, 30}, []float64{10, 5}, 0.1, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bids) != 2 || bids[0].Tenant != "web" {
+		t.Errorf("bids = %+v", bids)
+	}
+}
+
+func TestPublicMaxPerf(t *testing.T) {
+	cons := spotdc.Constraints{
+		RackHeadroom: []float64{60, 60},
+		RackPDU:      []int{0, 0},
+		PDUSpot:      []float64{80},
+		UPSSpot:      80,
+	}
+	allocs, err := spotdc.MaxPerf(cons, []spotdc.MaxPerfRequest{
+		{Rack: 0, MaxWatts: 60, Gain: func(w float64) float64 { return 0.002 * w }},
+		{Rack: 1, MaxWatts: 60, Gain: func(w float64) float64 { return 0.001 * w }},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs[0].Watts+allocs[1].Watts > 80+1e-9 {
+		t.Error("MaxPerf exceeded PDU spot")
+	}
+	if allocs[0].Watts < allocs[1].Watts {
+		t.Error("higher gain rack should receive at least as much")
+	}
+}
+
+func TestPublicTestbedRun(t *testing.T) {
+	sc, err := spotdc.Testbed(spotdc.TestbedOptions{Seed: 1, Slots: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := spotdc.Run(sc, spotdc.RunOptions{Mode: spotdc.ModeSpotDC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slots != 100 {
+		t.Errorf("slots = %d", res.Slots)
+	}
+	cost, err := spotdc.TenantCost(res, spotdc.DefaultPricing(), "Search-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Errorf("cost = %v", cost)
+	}
+	if math.IsNaN(res.Profit(500).ExtraProfitFraction) {
+		t.Error("profit is NaN")
+	}
+}
+
+func TestPublicScaled(t *testing.T) {
+	sc, err := spotdc.Scaled(spotdc.ScaledOptions{
+		Testbed: spotdc.TestbedOptions{Seed: 1, Slots: 20},
+		Tenants: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Agents) != 16 {
+		t.Errorf("agents = %d", len(sc.Agents))
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	ids := spotdc.Experiments()
+	if len(ids) < 15 {
+		t.Fatalf("only %d experiments registered: %v", len(ids), ids)
+	}
+	want := map[string]bool{"table1": false, "fig7b": false, "fig12": false, "fig18": false}
+	for _, id := range ids {
+		if _, ok := want[id]; ok {
+			want[id] = true
+		}
+	}
+	for id, seen := range want {
+		if !seen {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+	rep, err := spotdc.RunExperiment("table1", spotdc.ExperimentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 10 {
+		t.Errorf("table1 rows = %d", len(rep.Rows))
+	}
+	if _, err := spotdc.RunExperiment("nope", spotdc.ExperimentOptions{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
