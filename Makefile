@@ -1,0 +1,25 @@
+# SpotDC build/verify entry points.
+#
+#   make check          tier-1 verification plus vet and the race detector
+#                       (the parallel exact-clearing candidate evaluator must
+#                       stay race-clean)
+#   make test           tier-1 verification only (build + tests)
+#   make bench-clearing scan vs exact Fig. 7(b) clearing-time comparison
+#   make bench          the full benchmark suite
+
+GO ?= go
+
+.PHONY: check test bench bench-clearing
+
+check:
+	./scripts/check.sh
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+bench-clearing:
+	./scripts/bench-clearing.sh
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

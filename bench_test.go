@@ -54,29 +54,32 @@ func BenchmarkFig7aPowerVariation(b *testing.B) { benchExperiment(b, "fig7a") }
 
 // Fig. 7(b): market clearing time at scale (the headline scalability
 // result). Sub-benchmarks measure one clearing round directly at the
-// paper's operating points: up to 15,000 racks, price steps of 0.1 and 1
-// cents/kW.
+// paper's operating points — up to 15,000 racks, price steps of 0.1 and 1
+// cents/kW — for both engines: the paper's grid scan and the exact
+// breakpoint-driven search (scripts/bench-clearing.sh compares them).
 func BenchmarkFig7bClearingTime(b *testing.B) {
 	for _, racks := range []int{1500, 5000, 15000} {
 		for _, step := range []float64{0.001, 0.01} {
-			b.Run(fmt.Sprintf("racks=%d/step=%v", racks, step), func(b *testing.B) {
-				cons, bids := syntheticMarket(racks)
-				mkt, err := spotdc.NewMarket(cons, spotdc.MarketOptions{PriceStep: step})
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					res, err := mkt.Clear(bids)
+			for _, algo := range []spotdc.ClearingAlgorithm{spotdc.AlgorithmScan, spotdc.AlgorithmExact} {
+				b.Run(fmt.Sprintf("racks=%d/step=%v/algo=%v", racks, step, algo), func(b *testing.B) {
+					cons, bids := syntheticMarket(racks)
+					mkt, err := spotdc.NewMarket(cons, spotdc.MarketOptions{PriceStep: step, Algorithm: algo})
 					if err != nil {
 						b.Fatal(err)
 					}
-					if res.TotalWatts <= 0 {
-						b.Fatal("nothing cleared")
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						res, err := mkt.Clear(bids)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if res.TotalWatts <= 0 {
+							b.Fatal("nothing cleared")
+						}
 					}
-				}
-			})
+				})
+			}
 		}
 	}
 }

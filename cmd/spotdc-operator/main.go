@@ -27,7 +27,13 @@ func main() {
 	slotSeconds := flag.Int("slot-seconds", 10, "market slot length in seconds (paper: 60-300; short for demos)")
 	slots := flag.Int("slots", 0, "stop after this many slots (0 = run forever)")
 	seed := flag.Int64("seed", 42, "background power trace seed")
+	algorithm := flag.String("algorithm", "auto", "clearing engine: auto, scan or exact")
 	flag.Parse()
+
+	algo, err := spotdc.ParseClearingAlgorithm(*algorithm)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	topo, err := spotdc.NewTopology(1370,
 		[]spotdc.PDU{
@@ -49,7 +55,7 @@ func main() {
 	}
 	op, err := spotdc.NewOperator(spotdc.OperatorConfig{
 		Topology:      topo,
-		MarketOptions: spotdc.MarketOptions{PriceStep: 0.001},
+		MarketOptions: spotdc.MarketOptions{PriceStep: 0.001, Algorithm: algo},
 	})
 	if err != nil {
 		log.Fatal(err)

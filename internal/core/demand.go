@@ -30,6 +30,25 @@ type DemandFunc interface {
 	MaxPrice() float64
 }
 
+// Breakpointer is the optional structural interface behind exact
+// (breakpoint-driven) market clearing. A demand function that is piece-wise
+// linear in price exposes the prices at which its slope changes:
+//
+//   - Breakpoints returns the slope-change prices in ascending order;
+//   - below the first breakpoint the demand is constant at MaxDemand();
+//   - between consecutive breakpoints the demand is affine in price;
+//   - the last breakpoint equals MaxPrice(), and above it demand is zero.
+//
+// All three built-in demand functions (LinearBid, StepBid, FullBid)
+// implement it. Bids whose demand function does not implement Breakpointer
+// force Market.Clear to fall back to the grid-scan algorithm, which needs
+// no structural knowledge.
+type Breakpointer interface {
+	// Breakpoints returns the ascending prices at which the piece-wise
+	// linear demand curve changes slope (including its MaxPrice).
+	Breakpoints() []float64
+}
+
 // LinearBid is the paper's piece-wise linear demand function (Fig. 3(a)),
 // uniquely determined by the four solicited parameters
 // b_r = {(Dmax, qmin), (Dmin, qmax)}:
@@ -82,6 +101,15 @@ func (b LinearBid) MaxDemand() float64 { return b.DMax }
 // MaxPrice implements DemandFunc.
 func (b LinearBid) MaxPrice() float64 { return b.QMax }
 
+// Breakpoints implements Breakpointer: the demand is constant below QMin,
+// affine on [QMin, QMax] and zero above QMax.
+func (b LinearBid) Breakpoints() []float64 {
+	if b.QMin == b.QMax {
+		return []float64{b.QMax}
+	}
+	return []float64{b.QMin, b.QMax}
+}
+
 // StepBid is the Amazon-spot-style step demand function: a fixed demand D
 // for any price up to QMax, and zero above. It cannot express demand
 // elasticity, which is exactly the deficiency Fig. 14 quantifies.
@@ -116,6 +144,9 @@ func (b StepBid) MaxDemand() float64 { return b.D }
 
 // MaxPrice implements DemandFunc.
 func (b StepBid) MaxPrice() float64 { return b.QMax }
+
+// Breakpoints implements Breakpointer: a single step down to zero at QMax.
+func (b StepBid) Breakpoints() []float64 { return []float64{b.QMax} }
 
 // PricePoint is one (price, demand) sample of a full demand curve.
 type PricePoint struct {
@@ -187,6 +218,16 @@ func (b *FullBid) MaxPrice() float64 { return b.points[len(b.points)-1].Price }
 
 // Points returns a copy of the sampled curve.
 func (b *FullBid) Points() []PricePoint { return append([]PricePoint(nil), b.points...) }
+
+// Breakpoints implements Breakpointer: every sampled price is a potential
+// slope change.
+func (b *FullBid) Breakpoints() []float64 {
+	out := make([]float64, len(b.points))
+	for i, p := range b.points {
+		out[i] = p.Price
+	}
+	return out
+}
 
 // Bid pairs one rack with its demand function for the next time slot.
 type Bid struct {

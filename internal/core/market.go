@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrConstraints reports inconsistent market constraints.
@@ -48,6 +49,55 @@ func (c Constraints) Validate() error {
 	return nil
 }
 
+// Algorithm selects the clearing engine.
+type Algorithm int
+
+const (
+	// AlgorithmAuto picks the default engine: the exact breakpoint-driven
+	// search when every bid's demand function exposes its piece-wise linear
+	// structure (Breakpointer), otherwise the grid scan.
+	AlgorithmAuto Algorithm = iota
+	// AlgorithmScan is the paper's Section III-C "simple search over the
+	// feasible price range" at PriceStep granularity. It is kept as the
+	// reference oracle the exact engine is cross-validated against.
+	AlgorithmScan
+	// AlgorithmExact is the breakpoint-driven engine: it collects the bid
+	// curves' breakpoints, maximizes the closed-form piece-wise quadratic
+	// revenue analytically on each inter-breakpoint segment, and verifies
+	// the leading candidate prices in parallel. O(B log B) in the number of
+	// breakpoints instead of O(prices × bids). Falls back to the scan when
+	// a bid's demand function does not implement Breakpointer.
+	AlgorithmExact
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmAuto:
+		return "auto"
+	case AlgorithmScan:
+		return "scan"
+	case AlgorithmExact:
+		return "exact"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm maps the flag/config spelling to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "", "auto":
+		return AlgorithmAuto, nil
+	case "scan":
+		return AlgorithmScan, nil
+	case "exact":
+		return AlgorithmExact, nil
+	default:
+		return 0, fmt.Errorf("core: unknown clearing algorithm %q (want auto, scan or exact)", s)
+	}
+}
+
 // Options tunes the clearing-price search.
 type Options struct {
 	// PriceStep is the scan granularity in $/kW·h. The paper evaluates
@@ -64,6 +114,13 @@ type Options struct {
 	// best-effort in the paper, and the resulting allocation still
 	// satisfies Eqns. (2)–(4). See DESIGN.md for this design choice.
 	Ration bool
+	// Algorithm selects the clearing engine; the zero value (AlgorithmAuto)
+	// uses the exact breakpoint-driven engine whenever the bids permit it.
+	Algorithm Algorithm
+	// Workers caps the goroutines the exact engine uses to verify candidate
+	// prices (each worker gets its own scratch buffers). 0 uses
+	// runtime.GOMAXPROCS; 1 forces serial evaluation.
+	Workers int
 }
 
 const defaultPriceStep = 0.001
@@ -97,9 +154,15 @@ type Result struct {
 	// (Price × TotalWatts/1000). Multiply by the slot length in hours for
 	// the per-slot payment.
 	RevenueRate float64
-	// Evaluations counts the candidate prices examined, a proxy for
-	// clearing cost reported alongside Fig. 7(b).
+	// Evaluations counts the full demand-curve evaluations performed (the
+	// dominant cost of clearing), a proxy for clearing cost reported
+	// alongside Fig. 7(b). The scan performs one per candidate grid price;
+	// the exact engine performs a handful (feasibility probes plus
+	// verification of the analytically chosen candidates).
 	Evaluations int
+	// Algorithm records which engine produced the result (never
+	// AlgorithmAuto: auto resolves to scan or exact per clearing).
+	Algorithm Algorithm
 }
 
 // Market clears spot capacity for a fixed topology, reusing scratch buffers
@@ -112,6 +175,10 @@ type Market struct {
 	extras *Extras
 	// scratch per-PDU accumulation buffer.
 	pduLoad []float64
+	// exact holds the reusable buffers of the breakpoint-driven engine
+	// (same single-threaded contract as pduLoad; the parallel candidate
+	// verification uses private per-worker buffers instead).
+	exact exactScratch
 }
 
 // NewMarket validates the constraints and builds a market. The constraints'
@@ -130,7 +197,9 @@ func NewMarket(cons Constraints, opts Options) (*Market, error) {
 	}, nil
 }
 
-// SetSpot updates the per-slot available spot capacity.
+// SetSpot updates the per-slot available spot capacity. It validates every
+// value before mutating anything, so a rejected update leaves the market's
+// constraints exactly as they were (no partial application).
 func (m *Market) SetSpot(pduSpot []float64, upsSpot float64) error {
 	if len(pduSpot) != len(m.cons.PDUSpot) {
 		return fmt.Errorf("%w: %d PDU spot values for %d PDUs", ErrConstraints, len(pduSpot), len(m.cons.PDUSpot))
@@ -139,11 +208,11 @@ func (m *Market) SetSpot(pduSpot []float64, upsSpot float64) error {
 		if p < 0 {
 			return fmt.Errorf("%w: PDU %d spot %v negative", ErrConstraints, i, p)
 		}
-		m.cons.PDUSpot[i] = p
 	}
 	if upsSpot < 0 {
 		return fmt.Errorf("%w: UPS spot %v negative", ErrConstraints, upsSpot)
 	}
+	copy(m.cons.PDUSpot, pduSpot)
 	m.cons.UPSSpot = upsSpot
 	return nil
 }
@@ -158,11 +227,13 @@ func (m *Market) Constraints() Constraints {
 	}
 }
 
-// servedAt fills m.pduLoad with the per-PDU served demand at the given
-// price (each rack clamped to its headroom) and returns the total.
-func (m *Market) servedAt(bids []Bid, price float64) float64 {
-	for i := range m.pduLoad {
-		m.pduLoad[i] = 0
+// servedInto fills pduLoad (a caller-owned buffer of len(PDUSpot)) with the
+// per-PDU served demand at the given price (each rack clamped to its
+// headroom) and returns the total. It touches no Market scratch state, so
+// concurrent callers with distinct buffers are safe.
+func (m *Market) servedInto(pduLoad []float64, bids []Bid, price float64) float64 {
+	for i := range pduLoad {
+		pduLoad[i] = 0
 	}
 	total := 0.0
 	for _, b := range bids {
@@ -173,22 +244,39 @@ func (m *Market) servedAt(bids []Bid, price float64) float64 {
 		if d <= 0 {
 			continue
 		}
-		m.pduLoad[m.cons.RackPDU[b.Rack]] += d
+		pduLoad[m.cons.RackPDU[b.Rack]] += d
 		total += d
 	}
 	return total
 }
 
+// servedAt is servedInto over the market's shared scratch buffer
+// (single-threaded callers only).
+func (m *Market) servedAt(bids []Bid, price float64) float64 {
+	return m.servedInto(m.pduLoad, bids, price)
+}
+
+// feasEps is the capacity-comparison tolerance in watts: loads within
+// feasEps of a PDU/UPS limit still count as feasible (Eqns. 2–4 hold up to
+// floating-point noise).
 const feasEps = 1e-9
 
-// rationedAt returns the total watts served at the given price under
-// proportional rationing: each rack's demand is clamped to its headroom,
-// each over-demanded PDU's load is scaled to its spot capacity, and the
-// grand total is capped at the UPS spot.
-func (m *Market) rationedAt(bids []Bid, price float64) float64 {
-	m.servedAt(bids, price)
+// revEps is the revenue-comparison tolerance in $/h, deliberately distinct
+// from the watts-scale feasEps: a candidate price must beat the incumbent's
+// revenue by more than revEps to replace it. Combined with evaluating
+// candidates in ascending price order, this tie-breaks deterministically
+// toward the lower clearing price.
+const revEps = 1e-9
+
+// rationedInto returns the total watts served at the given price under
+// proportional rationing, accumulating per-PDU loads into the caller-owned
+// buffer: each rack's demand is clamped to its headroom, each over-demanded
+// PDU's load is scaled to its spot capacity, and the grand total is capped
+// at the UPS spot.
+func (m *Market) rationedInto(pduLoad []float64, bids []Bid, price float64) float64 {
+	m.servedInto(pduLoad, bids, price)
 	total := 0.0
-	for i, load := range m.pduLoad {
+	for i, load := range pduLoad {
 		if load > m.cons.PDUSpot[i] {
 			load = m.cons.PDUSpot[i]
 		}
@@ -198,6 +286,11 @@ func (m *Market) rationedAt(bids []Bid, price float64) float64 {
 		total = m.cons.UPSSpot
 	}
 	return total
+}
+
+// rationedAt is rationedInto over the market's shared scratch buffer.
+func (m *Market) rationedAt(bids []Bid, price float64) float64 {
+	return m.rationedInto(m.pduLoad, bids, price)
 }
 
 // rationedAllocations materializes the per-rack grants at a price under
@@ -233,26 +326,35 @@ func (m *Market) rationedAllocations(bids []Bid, price float64) ([]Allocation, f
 	return allocs, total
 }
 
-// feasibleAt reports whether the served demand at price fits every PDU and
-// the UPS. Because demand is non-increasing in price, feasibility is
-// monotone: feasible at q implies feasible at any q' ≥ q.
-func (m *Market) feasibleAt(bids []Bid, price float64) bool {
-	total := m.servedAt(bids, price)
+// feasibleInto reports whether the served demand at price fits every PDU
+// and the UPS, using the caller-owned buffer, and returns the served total.
+// Because demand is non-increasing in price, feasibility is monotone:
+// feasible at q implies feasible at any q' ≥ q.
+func (m *Market) feasibleInto(pduLoad []float64, bids []Bid, price float64) (float64, bool) {
+	total := m.servedInto(pduLoad, bids, price)
 	if total > m.cons.UPSSpot+feasEps {
-		return false
+		return total, false
 	}
-	for i, load := range m.pduLoad {
+	for i, load := range pduLoad {
 		if load > m.cons.PDUSpot[i]+feasEps {
-			return false
+			return total, false
 		}
 	}
-	return true
+	return total, true
+}
+
+// feasibleAt is feasibleInto over the market's shared scratch buffer.
+func (m *Market) feasibleAt(bids []Bid, price float64) bool {
+	_, ok := m.feasibleInto(m.pduLoad, bids, price)
+	return ok
 }
 
 // Clear runs the market: it finds the uniform price maximizing the
-// operator's revenue q·ΣD_r(q) (Eqn. 1) over feasible prices, scanning with
-// the configured step exactly as Section III-C's "simple search over the
-// feasible price range". Bids referencing out-of-range racks are rejected.
+// operator's revenue q·ΣD_r(q) (Eqn. 1) over feasible prices. The engine is
+// selected by Options.Algorithm: the exact breakpoint-driven search (the
+// default when every bid exposes its piece-wise linear structure) or the
+// Section III-C grid scan at PriceStep granularity. Bids referencing
+// out-of-range racks are rejected.
 func (m *Market) Clear(bids []Bid) (Result, error) {
 	for _, b := range bids {
 		if b.Rack < 0 || b.Rack >= len(m.cons.RackHeadroom) {
@@ -262,33 +364,78 @@ func (m *Market) Clear(bids []Bid) (Result, error) {
 			return Result{}, fmt.Errorf("%w: bid for rack %d has nil demand function", ErrBid, b.Rack)
 		}
 	}
-	floor := m.opts.ReservePrice
-	if floor < 0 {
-		floor = 0
+	switch m.opts.Algorithm {
+	case AlgorithmScan:
+		return m.clearScan(bids), nil
+	case AlgorithmExact:
+		if breakpointable(bids) {
+			return m.clearExact(bids), nil
+		}
+		return m.clearScan(bids), nil
+	default: // AlgorithmAuto
+		if breakpointable(bids) {
+			return m.clearExact(bids), nil
+		}
+		return m.clearScan(bids), nil
 	}
-	res := Result{Price: floor}
-	if len(bids) == 0 {
-		return res, nil
+}
+
+// breakpointable reports whether every bid's demand function exposes its
+// piece-wise linear structure, the prerequisite of exact clearing.
+func breakpointable(bids []Bid) bool {
+	for _, b := range bids {
+		if _, ok := b.Fn.(Breakpointer); !ok {
+			return false
+		}
 	}
-	// The revenue is zero above every bid's maximum price; cap the scan.
-	hi := floor
+	return true
+}
+
+// priceFloor returns the effective reserve price.
+func (m *Market) priceFloor() float64 {
+	if m.opts.ReservePrice < 0 {
+		return 0
+	}
+	return m.opts.ReservePrice
+}
+
+// maxBidPrice returns the highest MaxPrice over the bids, floored at the
+// reserve; revenue is zero above it.
+func (m *Market) maxBidPrice(bids []Bid) float64 {
+	hi := m.priceFloor()
 	for _, b := range bids {
 		if p := b.Fn.MaxPrice(); p > hi {
 			hi = p
 		}
 	}
+	return hi
+}
+
+// clearScan is the reference engine: the paper's grid scan at PriceStep
+// granularity. Every candidate price is an exact grid point
+// floor + i·PriceStep (integer-indexed, so thousands of iterations cannot
+// drift off-grid the way a floating-point accumulator would), and the
+// binary-searched feasibility boundary is snapped up to the same grid.
+func (m *Market) clearScan(bids []Bid) Result {
+	floor := m.priceFloor()
+	res := Result{Price: floor, Algorithm: AlgorithmScan}
+	if len(bids) == 0 {
+		return res
+	}
+	// The revenue is zero above every bid's maximum price; cap the scan.
+	hi := m.maxBidPrice(bids)
 	step := m.opts.step()
 
-	lo := floor
+	loIdx := 0
 	evals := 0
 	if !m.opts.Ration {
 		// Feasibility is monotone in price, so binary-search the lowest
 		// feasible price to step resolution, then scan only feasible
 		// prices.
-		if !m.feasibleAt(bids, lo) {
-			evals++
+		evals++
+		if !m.feasibleAt(bids, floor) {
 			// Demand is zero (hence trivially feasible) just above hi.
-			searchLo, searchHi := lo, hi+step
+			searchLo, searchHi := floor, hi+step
 			for searchHi-searchLo > step/4 {
 				mid := (searchLo + searchHi) / 2
 				evals++
@@ -298,9 +445,21 @@ func (m *Market) Clear(bids []Bid) (Result, error) {
 					searchLo = mid
 				}
 			}
-			lo = searchHi
-		} else {
-			evals++
+			// Snap the boundary up to the scan grid: the first candidate is
+			// the lowest grid price at or above the infeasible searchLo that
+			// probes feasible (at most a couple of probes, since
+			// searchHi − searchLo ≤ step/4).
+			loIdx = int(math.Ceil((searchLo - floor) / step))
+			if loIdx < 0 {
+				loIdx = 0
+			}
+			for {
+				evals++
+				if m.feasibleAt(bids, floor+float64(loIdx)*step) {
+					break
+				}
+				loIdx++
+			}
 		}
 	}
 
@@ -308,39 +467,48 @@ func (m *Market) Clear(bids []Bid) (Result, error) {
 	if m.opts.Ration {
 		served = m.rationedAt
 	}
-	bestPrice, bestRevenue, bestWatts := lo, -1.0, 0.0
-	for q := lo; q <= hi+step/2; q += step {
+	bestPrice, bestRevenue, bestWatts := floor+float64(loIdx)*step, -1.0, 0.0
+	for i := loIdx; ; i++ {
+		q := floor + float64(i)*step
+		if q > hi+step/2 {
+			break
+		}
 		evals++
 		watts := served(bids, q)
 		rev := q * watts / 1000 // $/kW·h × kW = $/h
-		if rev > bestRevenue+feasEps {
+		if rev > bestRevenue+revEps {
 			bestPrice, bestRevenue, bestWatts = q, rev, watts
 		}
 	}
 	if bestRevenue < 0 {
 		// Even the lowest feasible price exceeds every max price: nothing
 		// sells.
-		bestPrice, bestRevenue, bestWatts = lo, 0, 0
+		bestRevenue, bestWatts = 0, 0
 	}
 
 	res.Price = bestPrice
 	res.Evaluations = evals
+	return m.materialize(res, bids, bestWatts, bestRevenue)
+}
+
+// materialize fills the allocations of a result whose Price is decided.
+func (m *Market) materialize(res Result, bids []Bid, watts, revenue float64) Result {
 	if m.opts.Ration {
-		res.Allocations, res.TotalWatts = m.rationedAllocations(bids, bestPrice)
-		res.RevenueRate = bestPrice * res.TotalWatts / 1000
-		return res, nil
+		res.Allocations, res.TotalWatts = m.rationedAllocations(bids, res.Price)
+		res.RevenueRate = res.Price * res.TotalWatts / 1000
+		return res
 	}
-	res.TotalWatts = bestWatts
-	res.RevenueRate = bestRevenue
+	res.TotalWatts = watts
+	res.RevenueRate = revenue
 	res.Allocations = make([]Allocation, len(bids))
 	for i, b := range bids {
-		d := b.Fn.Demand(bestPrice)
+		d := b.Fn.Demand(res.Price)
 		if hr := m.cons.RackHeadroom[b.Rack]; d > hr {
 			d = hr
 		}
 		res.Allocations[i] = Allocation{Rack: b.Rack, Tenant: b.Tenant, Watts: d}
 	}
-	return res, nil
+	return res
 }
 
 // VerifyFeasible confirms that an allocation satisfies Eqns. (2)–(4); the

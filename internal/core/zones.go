@@ -248,14 +248,22 @@ func (m *Market) ClearWithExtras(bids []Bid) (Result, error) {
 
 	bestPrice, bestRevenue, bestWatts := floor, -1.0, 0.0
 	evals := 0
-	for q := floor; q <= hi+step/2; q += step {
+	// Integer-indexed grid (floor + i*step) so prices stay exactly on the
+	// advertised resolution, and the dedicated revenue epsilon so the
+	// winner-comparison tolerance is not tied to the watts-scale feasEps.
+	// Ascending order + strict improvement tie-breaks toward the lower price.
+	for i := 0; ; i++ {
+		q := floor + float64(i)*step
+		if q > hi+step/2 {
+			break
+		}
 		evals++
 		if !feasible(q) {
 			continue
 		}
 		watts := m.servedAt(bids, q)
 		rev := q * watts / 1000
-		if rev > bestRevenue+feasEps {
+		if rev > bestRevenue+revEps {
 			bestPrice, bestRevenue, bestWatts = q, rev, watts
 		}
 	}

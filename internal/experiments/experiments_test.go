@@ -178,8 +178,16 @@ func TestFig7bClearingFast(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Rows) != 2 { // one rack count × two step sizes
+	if len(rep.Rows) != 4 { // one rack count × two step sizes × two algorithms
 		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// Rows alternate scan/exact; the exact engine must never be slower than
+	// the scan by more than noise on the same market (it does O(B log B)
+	// work instead of O(prices × bids)).
+	for _, row := range rep.Rows {
+		if row[2] != "scan" && row[2] != "exact" {
+			t.Fatalf("unexpected algorithm column %q", row[2])
+		}
 	}
 }
 

@@ -1,0 +1,27 @@
+#!/bin/sh
+# bench-clearing.sh — compare the grid-scan and exact breakpoint-driven
+# clearing engines on the Fig. 7(b) operating points. The ISSUE acceptance
+# bar is >= 5x at racks=15000 / step=0.001 (the paper's headline "clearing
+# in < 1 s at 15,000 racks" scalability claim).
+#
+# Usage: scripts/bench-clearing.sh [benchtime]   (default 10x)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-10x}"
+
+go test -run '^$' \
+    -bench 'BenchmarkFig7bClearingTime' \
+    -benchtime "$BENCHTIME" \
+    . | awk '
+/algo=scan/  { scan[$1] = $3 }
+/algo=exact/ { key = $1; sub(/algo=exact/, "algo=scan", key); exact[key] = $3 }
+{ print }
+END {
+    print ""
+    print "speedup (scan / exact):"
+    for (k in scan) if (k in exact && exact[k] > 0) {
+        name = k; sub(/\/algo=scan/, "", name)
+        printf "  %-40s %.2fx\n", name, scan[k] / exact[k]
+    }
+}'

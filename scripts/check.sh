@@ -1,0 +1,22 @@
+#!/bin/sh
+# check.sh — the repo's full verification gate:
+#
+#   1. go build ./...        everything compiles
+#   2. go vet ./...          static checks
+#   3. go test -race ./...   all tests under the race detector, so the
+#                            parallel candidate evaluation inside the exact
+#                            clearing engine (internal/core/clear_exact.go)
+#                            is exercised with race checking on every run
+#
+# Tier-1 (ROADMAP.md) remains `go build ./... && go test ./...`; this script
+# is a superset of it.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo '== go build ./...'
+go build ./...
+echo '== go vet ./...'
+go vet ./...
+echo '== go test -race ./...'
+go test -race ./...
+echo 'check: OK'

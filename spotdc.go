@@ -110,7 +110,31 @@ type (
 	MaxPerfRequest = core.MaxPerfRequest
 	// GainFunc maps granted watts to performance gain in $/h.
 	GainFunc = core.GainFunc
+	// ClearingAlgorithm selects the market-clearing engine (see
+	// MarketOptions.Algorithm).
+	ClearingAlgorithm = core.Algorithm
+	// Breakpointer is the structural interface a demand function implements
+	// to enable exact breakpoint-driven clearing.
+	Breakpointer = core.Breakpointer
 )
+
+// Clearing-engine selectors for MarketOptions.Algorithm.
+const (
+	// AlgorithmAuto picks exact clearing when every bid exposes its
+	// piece-wise linear structure, else falls back to the grid scan.
+	AlgorithmAuto = core.AlgorithmAuto
+	// AlgorithmScan forces the Section III-C grid scan (the reference
+	// oracle).
+	AlgorithmScan = core.AlgorithmScan
+	// AlgorithmExact forces the breakpoint-driven exact engine.
+	AlgorithmExact = core.AlgorithmExact
+)
+
+// ParseClearingAlgorithm parses "auto", "scan" or "exact" (empty means
+// auto), for wiring the Algorithm knob through flags and config files.
+func ParseClearingAlgorithm(s string) (ClearingAlgorithm, error) {
+	return core.ParseAlgorithm(s)
+}
 
 // Optional Section III-A constraints (heat density, phase balance).
 type (
