@@ -4,12 +4,15 @@
 #                       (the parallel exact-clearing candidate evaluator must
 #                       stay race-clean)
 #   make test           tier-1 verification only (build + tests)
+#   make smoke-faults   seeded fault-schedule smoke run: 220 networked slots
+#                       with bid loss, broadcast loss, severed connections
+#                       and a forced operator failure, race detector on
 #   make bench-clearing scan vs exact Fig. 7(b) clearing-time comparison
 #   make bench          the full benchmark suite
 
 GO ?= go
 
-.PHONY: check test bench bench-clearing
+.PHONY: check test smoke-faults bench bench-clearing
 
 check:
 	./scripts/check.sh
@@ -17,6 +20,9 @@ check:
 test:
 	$(GO) build ./...
 	$(GO) test ./...
+
+smoke-faults:
+	$(GO) test -race -count=1 -v -run 'TestNetRunSeededFaultSchedule' ./internal/sim/
 
 bench-clearing:
 	./scripts/bench-clearing.sh

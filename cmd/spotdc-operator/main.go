@@ -28,6 +28,10 @@ func main() {
 	slots := flag.Int("slots", 0, "stop after this many slots (0 = run forever)")
 	seed := flag.Int64("seed", 42, "background power trace seed")
 	algorithm := flag.String("algorithm", "auto", "clearing engine: auto, scan or exact")
+	sessionTTL := flag.Duration("session-ttl", 0, "expire tenant sessions idle longer than this (0 = library default)")
+	bidWindow := flag.Int("bid-window", 0, "accept bids at most this many slots ahead (0 = library default)")
+	maxFailures := flag.Int("max-consecutive-failures", 0, "trip the breaker to no-spot after this many consecutive slot failures (0 = never)")
+	breakerCooldown := flag.Int("breaker-cooldown-slots", 0, "slots to hold the breaker open before a half-open probe (0 = stay open)")
 	flag.Parse()
 
 	algo, err := spotdc.ParseClearingAlgorithm(*algorithm)
@@ -60,8 +64,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := spotdc.NewMarketServer(*listen, func(id string) (int, bool) {
+	srv, err := spotdc.NewMarketServerOpts(*listen, func(id string) (int, bool) {
 		return topo.RackByID(id)
+	}, spotdc.MarketServerOptions{
+		SessionTTL: *sessionTTL,
+		BidWindow:  *bidWindow,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -117,12 +124,24 @@ func main() {
 				slot, bids, srv.Sessions(), out.Result.Price, out.Result.TotalWatts,
 				out.RevenueThisSlot, op.SpotRevenue())
 		},
+		// Section III-C: a failed slot degrades to the no-spot default and
+		// the market keeps running; it is logged, never fatal.
+		OnSlotError: func(slot int, err error) {
+			log.Printf("slot %d: degraded to no-spot default: %v", slot, err)
+		},
+		MaxConsecutiveFailures: *maxFailures,
+		BreakerCooldownSlots:   *breakerCooldown,
 	}
 	n := *slots
 	if n == 0 {
 		n = 1 << 30 // effectively forever
 	}
-	if _, err := loop.RunSlots(0, n); err != nil {
+	cleared, err := loop.RunSlots(0, n)
+	if err != nil {
 		log.Fatal(err)
+	}
+	if degraded := loop.SlotErrors(); degraded > 0 {
+		log.Printf("spotdc-operator: %d/%d slots cleared, %d degraded (breaker open: %v)",
+			cleared, n, degraded, loop.BreakerTripped())
 	}
 }

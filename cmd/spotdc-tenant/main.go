@@ -7,7 +7,7 @@
 //
 //	spotdc-tenant -name Count-1 -rack O-1 [-connect 127.0.0.1:7070]
 //	              [-dmax 60] [-dmin 6] [-qmin 0.02] [-qmax 0.16]
-//	              [-slot-seconds 10] [-slots N]
+//	              [-slot-seconds 10] [-slots N] [-reconnect]
 package main
 
 import (
@@ -29,9 +29,19 @@ func main() {
 	qMax := flag.Float64("qmax", 0.16, "maximum acceptable price ($/kWh)")
 	slotSeconds := flag.Int("slot-seconds", 10, "must match the operator's slot length")
 	slots := flag.Int("slots", 0, "stop after this many slots (0 = run forever)")
+	reconnect := flag.Bool("reconnect", true, "auto-reconnect with backoff when the session drops")
+	backoff := flag.Duration("backoff", 200*time.Millisecond, "base reconnect backoff (doubles per attempt, with jitter)")
+	maxAttempts := flag.Int("max-attempts", 8, "reconnect attempts before giving up (-1 = unlimited)")
 	flag.Parse()
 
-	client, err := spotdc.DialMarket(*connect, *name, []string{*rack})
+	client, err := spotdc.DialMarketOpts(*connect, *name, []string{*rack}, spotdc.MarketClientOptions{
+		Reconnect:   *reconnect,
+		BackoffBase: *backoff,
+		MaxAttempts: *maxAttempts,
+		OnReconnect: func(attempt int, err error) {
+			log.Printf("spotdc-tenant: reconnect attempt %d: %v", attempt, err)
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +52,11 @@ func main() {
 	for slot := 0; *slots == 0 || slot < *slots; slot++ {
 		bid := spotdc.RackBid{Rack: *rack, DMax: *dMax, QMin: *qMin, DMin: *dMin, QMax: *qMax}
 		if err := client.SubmitBids(slot, []spotdc.RackBid{bid}); err != nil {
-			log.Fatalf("spotdc-tenant: submit slot %d: %v", slot, err)
+			// Section III-C: a lost bid means no spot capacity this slot,
+			// not a dead tenant. Pace out the slot and try the next one.
+			log.Printf("slot %d: submit failed (%v) — running without spot capacity", slot, err)
+			time.Sleep(slotDur)
+			continue
 		}
 		price, grants, err := client.AwaitPrice(slot, slotDur+2*time.Second)
 		switch {
@@ -51,12 +65,16 @@ func main() {
 			log.Printf("slot %d: no price broadcast — running without spot capacity", slot)
 			continue
 		case err != nil:
-			log.Fatalf("spotdc-tenant: await slot %d: %v", slot, err)
+			log.Printf("slot %d: await failed (%v) — running without spot capacity", slot, err)
+			continue
 		}
 		total := 0.0
 		for _, g := range grants {
 			total += g.Watts
 		}
 		log.Printf("slot %d: price $%.3f/kWh, granted %.1f W of spot capacity", slot, price, total)
+	}
+	if n := client.Reconnects(); n > 0 {
+		log.Printf("spotdc-tenant %s: session survived %d reconnects", *name, n)
 	}
 }

@@ -1,7 +1,10 @@
 // Protocol demonstrates the networked SpotDC deployment of Fig. 5: the
 // operator's market server and two remote tenants exchange HeartBeat, Bid
 // and Price messages as newline-delimited JSON over localhost TCP, and
-// three market slots clear end to end.
+// three market slots clear end to end. A fourth slot shows the Section
+// III-C exception path: the operator's power telemetry is corrupt, so the
+// slot degrades to an explicit zero-price broadcast and every tenant falls
+// back to the no-spot default — the market never stops.
 //
 //	go run ./examples/protocol
 package main
@@ -9,6 +12,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"math"
 	"time"
 
 	"spotdc"
@@ -99,6 +103,33 @@ func main() {
 				c.Tenant(), price, total)
 		}
 	}
+
+	// Slot 3: the telemetry feed glitches (NaN watts). RunSlot refuses to
+	// clear on a corrupt reading; the operator broadcasts an explicit
+	// zero-price, no-grant message so tenants apply the no-spot default
+	// instead of waiting on a silent market (Section III-C).
+	slot := 3
+	if err := search.SubmitBids(slot, []spotdc.RackBid{
+		{Rack: "S-1", DMax: 40, QMin: 0.18, DMin: 15, QMax: 0.45},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	awaitBids(srv, slot)
+	bids := srv.TakeBids(slot)
+	poisoned := spotdc.Reading{RackWatts: []float64{math.NaN(), 100}, OtherPDUWatts: []float64{190}}
+	if _, err := op.RunSlot(bids, poisoned, 2.0/60); err != nil {
+		fmt.Printf("slot %d: telemetry corrupt (%v) — degrading to no-spot default\n", slot, err)
+		srv.Broadcast(slot, 0, nil, func(i int) string { return topo.Racks[i].ID })
+	}
+	for _, c := range []*spotdc.MarketClient{search, count} {
+		price, grants, err := c.AwaitPrice(slot, 2*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-9s sees price $%.3f and %d grants: no spot capacity this slot\n",
+			c.Tenant(), price, len(grants))
+	}
+
 	fmt.Printf("\ncumulative operator revenue: $%.6f\n", op.SpotRevenue())
 }
 

@@ -1,0 +1,91 @@
+package operator
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"spotdc/internal/core"
+	"spotdc/internal/power"
+)
+
+func TestValidateReadingRejectsCorruptTelemetry(t *testing.T) {
+	good := power.Reading{RackWatts: []float64{130, 110}, OtherPDUWatts: []float64{180}}
+	if err := ValidateReading(good); err != nil {
+		t.Fatalf("good reading rejected: %v", err)
+	}
+	bad := []power.Reading{
+		{RackWatts: []float64{math.NaN(), 110}, OtherPDUWatts: []float64{180}},
+		{RackWatts: []float64{130, math.Inf(1)}, OtherPDUWatts: []float64{180}},
+		{RackWatts: []float64{130, -5}, OtherPDUWatts: []float64{180}},
+		{RackWatts: []float64{130, 110}, OtherPDUWatts: []float64{math.NaN()}},
+		{RackWatts: []float64{130, 110}, OtherPDUWatts: []float64{math.Inf(-1)}},
+		{RackWatts: []float64{130, 110}, OtherPDUWatts: []float64{-1}},
+	}
+	for i, r := range bad {
+		err := ValidateReading(r)
+		if err == nil {
+			t.Errorf("corrupt reading %d accepted", i)
+			continue
+		}
+		if !errors.Is(err, ErrReading) {
+			t.Errorf("reading %d error %v is not ErrReading", i, err)
+		}
+	}
+}
+
+func TestRunSlotRejectsPoisonedReading(t *testing.T) {
+	op := newOp(t)
+	poison := power.Reading{
+		RackWatts:     []float64{math.NaN(), 110, 130, 110},
+		OtherPDUWatts: []float64{180, 180},
+	}
+	if _, err := op.RunSlot(nil, poison, 1); !errors.Is(err, ErrReading) {
+		t.Fatalf("RunSlot on poisoned reading: %v, want ErrReading", err)
+	}
+	// The failed slot leaves no trace in the accumulators: it never ran.
+	if op.Slots() != 0 || op.SpotRevenue() != 0 {
+		t.Errorf("failed slot accumulated state: slots=%d revenue=%v", op.Slots(), op.SpotRevenue())
+	}
+}
+
+func TestRunSlotReportsClearDuration(t *testing.T) {
+	op := newOp(t)
+	reading := power.Reading{
+		RackWatts:     []float64{130, 110, 130, 110},
+		OtherPDUWatts: []float64{180, 180},
+	}
+	bids := []core.Bid{
+		{Rack: 1, Tenant: "Count-1", Fn: core.LinearBid{DMax: 60, DMin: 5, QMin: 0.02, QMax: 0.2}},
+	}
+	out, err := op.RunSlot(bids, reading, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ClearDuration <= 0 {
+		t.Errorf("ClearDuration = %v, want > 0", out.ClearDuration)
+	}
+}
+
+func TestVerifyFeasibleExported(t *testing.T) {
+	op := newOp(t)
+	reading := power.Reading{
+		RackWatts:     []float64{130, 110, 130, 110},
+		OtherPDUWatts: []float64{180, 180},
+	}
+	bids := []core.Bid{
+		{Rack: 1, Tenant: "Count-1", Fn: core.LinearBid{DMax: 60, DMin: 5, QMin: 0.02, QMax: 0.2}},
+	}
+	out, err := op.RunSlot(bids, reading, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.VerifyFeasible(out.Result.Allocations); err != nil {
+		t.Errorf("broadcast allocation fails independent re-check: %v", err)
+	}
+	// An allocation beyond a rack's headroom must fail the re-check.
+	over := []core.Allocation{{Rack: 1, Tenant: "Count-1", Watts: 1e6}}
+	if err := op.VerifyFeasible(over); err == nil {
+		t.Error("absurd allocation passed VerifyFeasible")
+	}
+}

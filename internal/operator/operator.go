@@ -9,10 +9,17 @@ package operator
 import (
 	"errors"
 	"fmt"
+	"math"
+	"time"
 
 	"spotdc/internal/core"
 	"spotdc/internal/power"
 )
+
+// ErrReading reports a rack-power snapshot the operator refuses to clear
+// on: prediction from corrupt telemetry could oversell spot capacity, so
+// the slot degrades to the no-spot default instead (Section III-C).
+var ErrReading = errors.New("operator: invalid power reading")
 
 // ErrPricing reports an invalid pricing configuration.
 var ErrPricing = errors.New("operator: invalid pricing")
@@ -197,6 +204,35 @@ type SlotOutcome struct {
 	Result core.Result
 	// RevenueThisSlot is the $ billed for the slot.
 	RevenueThisSlot float64
+	// ClearDuration is the wall time spent inside market clearing alone —
+	// not prediction, feasibility verification, or billing — which is
+	// what the paper's Fig. 7(b) scaling numbers measure.
+	ClearDuration time.Duration
+}
+
+// ValidateReading rejects power snapshots the operator must not clear on:
+// NaN, infinite, or negative rack or PDU watts (corrupt telemetry). The
+// caller degrades the slot to the no-spot default.
+func ValidateReading(reading power.Reading) error {
+	check := func(kind string, ws []float64) error {
+		for i, w := range ws {
+			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+				return fmt.Errorf("%w: %s %d watts %v", ErrReading, kind, i, w)
+			}
+		}
+		return nil
+	}
+	if err := check("rack", reading.RackWatts); err != nil {
+		return err
+	}
+	return check("other-PDU", reading.OtherPDUWatts)
+}
+
+// VerifyFeasible re-checks an allocation against the market's capacity
+// constraints (Eqns. 2–4) — the reliability invariant exposed so external
+// harnesses (e.g. the networked fault tests) can assert it independently.
+func (op *Operator) VerifyFeasible(allocs []core.Allocation) error {
+	return op.market.VerifyFeasible(allocs)
 }
 
 // RunSlot executes one Algorithm 1 iteration: predict spot capacity from
@@ -205,6 +241,9 @@ type SlotOutcome struct {
 func (op *Operator) RunSlot(bids []core.Bid, reading power.Reading, slotHours float64) (SlotOutcome, error) {
 	if slotHours <= 0 {
 		return SlotOutcome{}, fmt.Errorf("operator: slotHours %v must be positive", slotHours)
+	}
+	if err := ValidateReading(reading); err != nil {
+		return SlotOutcome{}, err
 	}
 	racks := make([]int, 0, len(bids))
 	for _, b := range bids {
@@ -217,7 +256,9 @@ func (op *Operator) RunSlot(bids []core.Bid, reading power.Reading, slotHours fl
 	if err := op.market.SetSpot(spot.PDUWatts, spot.UPSWatts); err != nil {
 		return SlotOutcome{}, err
 	}
+	clearStart := time.Now()
 	res, err := op.market.Clear(bids)
+	clearDur := time.Since(clearStart)
 	if err != nil {
 		return SlotOutcome{}, err
 	}
@@ -236,7 +277,7 @@ func (op *Operator) RunSlot(bids []core.Bid, reading power.Reading, slotHours fl
 			op.payments[a.Tenant] += res.Price * a.Watts / 1000 * slotHours
 		}
 	}
-	return SlotOutcome{Spot: spot, Result: res, RevenueThisSlot: slotRevenue}, nil
+	return SlotOutcome{Spot: spot, Result: res, RevenueThisSlot: slotRevenue, ClearDuration: clearDur}, nil
 }
 
 // MaxPerfSlot runs the MaxPerf baseline for one slot under the same

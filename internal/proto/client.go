@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"time"
 )
@@ -12,65 +13,219 @@ import (
 // per Section III-C the tenant then defaults to "no spot capacity".
 var ErrNoPrice = errors.New("proto: no price broadcast for slot")
 
-// Client is the tenant-side endpoint: it registers racks, submits bids,
-// and awaits the price broadcast each slot.
-type Client struct {
-	tenant string
-	conn   net.Conn
-	codec  *Codec
+// ErrReconnectFailed reports that an automatic reconnect exhausted its
+// attempt budget; the session is gone until the caller dials again.
+var ErrReconnectFailed = errors.New("proto: reconnect failed")
+
+// ClientOptions tunes the tenant-side endpoint. The zero value preserves
+// the historical behavior: no automatic reconnect, plain TCP dialing.
+type ClientOptions struct {
+	// Reconnect enables automatic redial with exponential backoff and
+	// jitter whenever the connection drops. The re-dial replays the hello
+	// (re-registering the client's racks), so a transient loss costs at
+	// most the slots it spans — the Section III-C no-spot default — rather
+	// than evicting the tenant from the market permanently.
+	Reconnect bool
+	// BackoffBase is the first retry delay (default 50ms).
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential growth (default 5s).
+	BackoffMax time.Duration
+	// MaxAttempts bounds redial attempts per outage (default 8;
+	// negative means unlimited — bound it with AwaitPrice deadlines).
+	MaxAttempts int
+	// Seed drives the backoff jitter, making outage schedules
+	// reproducible in tests.
+	Seed int64
+	// OnReconnect, if non-nil, observes every redial attempt: err is nil
+	// when the attempt restored the session.
+	OnReconnect func(attempt int, err error)
+	// HandshakeTimeout bounds the dial + hello exchange (default 5s).
+	HandshakeTimeout time.Duration
+	// Dialer replaces the TCP dialer — the fault-injection hook (see
+	// FaultInjector.Dial). Default net.DialTimeout over HandshakeTimeout.
+	Dialer func(addr string) (net.Conn, error)
 }
 
-// Dial connects to the operator and registers the tenant's racks.
+func (o *ClientOptions) setDefaults() {
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 8
+	}
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = deadline
+	}
+}
+
+// Client is the tenant-side endpoint: it registers racks, submits bids,
+// and awaits the price broadcast each slot. Methods are not safe for
+// concurrent use; drive one Client from one goroutine (the per-slot bidding
+// loop of Fig. 6).
+type Client struct {
+	tenant string
+	addr   string
+	racks  []string
+	opts   ClientOptions
+	rng    *rand.Rand
+
+	conn  net.Conn
+	codec *Codec
+
+	reconnects int
+}
+
+// Dial connects to the operator and registers the tenant's racks with
+// default options (no automatic reconnect).
 func Dial(addr, tenantName string, racks []string) (*Client, error) {
+	return DialOpts(addr, tenantName, racks, ClientOptions{})
+}
+
+// DialOpts connects with explicit options.
+func DialOpts(addr, tenantName string, racks []string, opts ClientOptions) (*Client, error) {
 	if tenantName == "" {
 		return nil, errors.New("proto: empty tenant name")
 	}
-	conn, err := net.DialTimeout("tcp", addr, deadline)
-	if err != nil {
+	opts.setDefaults()
+	c := &Client{
+		tenant: tenantName,
+		addr:   addr,
+		racks:  append([]string(nil), racks...),
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+	}
+	if err := c.connect(); err != nil {
 		return nil, err
-	}
-	c := &Client{tenant: tenantName, conn: conn, codec: NewCodec(conn)}
-	setConnDeadline(conn, deadline)
-	if err := c.codec.Send(Message{Type: TypeHello, Tenant: tenantName, Racks: racks}); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	// The server acks the hello with a heartbeat (or rejects with error).
-	msg, err := c.codec.Recv()
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
-	if msg.Type == TypeError {
-		conn.Close()
-		return nil, fmt.Errorf("%w: %s", ErrProtocol, msg.Detail)
-	}
-	if msg.Type != TypeHeartBeat {
-		conn.Close()
-		return nil, fmt.Errorf("%w: expected heartbeat ack, got %q", ErrProtocol, msg.Type)
 	}
 	return c, nil
 }
 
+// connect dials and performs the hello handshake, installing the fresh
+// connection on success.
+func (c *Client) connect() error {
+	dial := c.opts.Dialer
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, c.opts.HandshakeTimeout)
+		}
+	}
+	conn, err := dial(c.addr)
+	if err != nil {
+		return err
+	}
+	codec := NewCodec(conn)
+	setConnDeadline(conn, c.opts.HandshakeTimeout)
+	if err := codec.Send(Message{Type: TypeHello, Tenant: c.tenant, Racks: c.racks}); err != nil {
+		conn.Close()
+		return err
+	}
+	// The server acks the hello with a heartbeat (or rejects with error).
+	msg, err := codec.Recv()
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if msg.Type == TypeError {
+		conn.Close()
+		return fmt.Errorf("%w: %s", ErrProtocol, msg.Detail)
+	}
+	if msg.Type != TypeHeartBeat {
+		conn.Close()
+		return fmt.Errorf("%w: expected heartbeat ack, got %q", ErrProtocol, msg.Type)
+	}
+	if c.conn != nil {
+		_ = c.conn.Close()
+	}
+	c.conn, c.codec = conn, codec
+	return nil
+}
+
+// reconnect redials with exponential backoff and jitter until the session
+// is restored, the attempt budget is exhausted, or the deadline (if
+// non-zero) passes. cause is the error that broke the connection.
+func (c *Client) reconnect(cause error, deadlineAt time.Time) error {
+	if !c.opts.Reconnect {
+		return cause
+	}
+	backoff := c.opts.BackoffBase
+	var last error = cause
+	for attempt := 1; c.opts.MaxAttempts < 0 || attempt <= c.opts.MaxAttempts; attempt++ {
+		// Full jitter in [backoff/2, backoff): desynchronizes tenants
+		// reconnecting after a shared outage.
+		sleep := backoff/2 + time.Duration(c.rng.Int63n(int64(backoff/2)+1))
+		if !deadlineAt.IsZero() && time.Now().Add(sleep).After(deadlineAt) {
+			return fmt.Errorf("%w: deadline passed after %d attempts: %v", ErrReconnectFailed, attempt-1, last)
+		}
+		time.Sleep(sleep)
+		err := c.connect()
+		if c.opts.OnReconnect != nil {
+			c.opts.OnReconnect(attempt, err)
+		}
+		if err == nil {
+			c.reconnects++
+			return nil
+		}
+		last = err
+		if backoff < c.opts.BackoffMax {
+			backoff *= 2
+			if backoff > c.opts.BackoffMax {
+				backoff = c.opts.BackoffMax
+			}
+		}
+	}
+	return fmt.Errorf("%w: %d attempts, last error: %v", ErrReconnectFailed, c.opts.MaxAttempts, last)
+}
+
+// Reconnects returns how many times the client restored a dropped session.
+func (c *Client) Reconnects() int { return c.reconnects }
+
 // Tenant returns the registered tenant name.
 func (c *Client) Tenant() string { return c.tenant }
 
-// SubmitBids sends the slot's rack-level demand functions.
+// SubmitBids sends the slot's rack-level demand functions. With Reconnect
+// enabled a failed send triggers one redial-and-retry; if the retry also
+// fails the bid is lost and the tenant simply has no spot capacity for the
+// slot (Section III-C).
 func (c *Client) SubmitBids(slot int, bids []RackBid) error {
+	msg := Message{Type: TypeBid, Tenant: c.tenant, Slot: slot, Bids: bids}
 	setConnDeadline(c.conn, deadline)
-	return c.codec.Send(Message{Type: TypeBid, Tenant: c.tenant, Slot: slot, Bids: bids})
+	err := c.codec.Send(msg)
+	if err == nil || !c.opts.Reconnect {
+		return err
+	}
+	if rerr := c.reconnect(err, time.Time{}); rerr != nil {
+		return rerr
+	}
+	setConnDeadline(c.conn, deadline)
+	return c.codec.Send(msg)
 }
 
 // HeartBeat exchanges a keep-alive for the slot.
 func (c *Client) HeartBeat(slot int) error {
 	setConnDeadline(c.conn, deadline)
+	err := c.codec.Send(Message{Type: TypeHeartBeat, Tenant: c.tenant, Slot: slot})
+	if err == nil || !c.opts.Reconnect {
+		return err
+	}
+	if rerr := c.reconnect(err, time.Time{}); rerr != nil {
+		return rerr
+	}
+	setConnDeadline(c.conn, deadline)
 	return c.codec.Send(Message{Type: TypeHeartBeat, Tenant: c.tenant, Slot: slot})
 }
 
 // AwaitPrice blocks until the price broadcast for the slot arrives or the
-// timeout expires. Heartbeats, errors for other slots, and stale price
-// messages are skipped. On timeout it returns ErrNoPrice: the tenant must
-// assume no spot capacity.
+// timeout expires. Heartbeats, stale price messages, and error replies for
+// other slots (e.g. a late rejection of last slot's bid) are skipped —
+// only an error reply for the awaited slot is returned. On timeout it
+// returns ErrNoPrice: the tenant must assume no spot capacity. With
+// Reconnect enabled a broken connection is redialed within the timeout
+// and the wait resumes; if the price was broadcast while the link was
+// down, the wait ends in ErrNoPrice — the no-spot default, never a
+// wrong price.
 func (c *Client) AwaitPrice(slot int, timeout time.Duration) (price float64, grants []Grant, err error) {
 	deadlineAt := time.Now().Add(timeout)
 	for {
@@ -85,6 +240,14 @@ func (c *Client) AwaitPrice(slot int, timeout time.Duration) (price float64, gra
 			if errors.As(err, &nerr) && nerr.Timeout() {
 				return 0, nil, ErrNoPrice
 			}
+			if c.opts.Reconnect {
+				if rerr := c.reconnect(err, deadlineAt); rerr != nil {
+					// The session is gone for this slot: the safe default
+					// is no spot capacity.
+					return 0, nil, fmt.Errorf("%w (%v)", ErrNoPrice, rerr)
+				}
+				continue
+			}
 			if errors.Is(err, io.EOF) {
 				return 0, nil, ErrNoPrice
 			}
@@ -97,8 +260,10 @@ func (c *Client) AwaitPrice(slot int, timeout time.Duration) (price float64, gra
 			continue // stale broadcast
 		case msg.Type == TypeHeartBeat:
 			continue
-		case msg.Type == TypeError:
+		case msg.Type == TypeError && msg.Slot == slot:
 			return 0, nil, fmt.Errorf("%w: %s", ErrProtocol, msg.Detail)
+		case msg.Type == TypeError:
+			continue // stale rejection for another slot: not our market
 		default:
 			continue
 		}

@@ -1,0 +1,173 @@
+package proto
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultPlan parameterizes protocol-level fault injection. Probabilities are
+// evaluated independently per wire write (the codec flushes one message per
+// write), drawn from a stream seeded by Seed, so a given plan replays the
+// same statistical fault schedule. The zero value injects nothing.
+//
+// The plan models Section III-C's failure classes: a dropped write is a
+// lost bid or missed price broadcast, a delayed write is congestion, and a
+// severed connection is a tenant (or operator-side) link failure. Under
+// every one of them the market's contract is the same — the affected
+// tenant falls back to the no-spot default while clearing continues.
+type FaultPlan struct {
+	// Seed drives the fault stream (same seed, same schedule).
+	Seed int64
+	// DropProb silently discards a write (the message never arrives).
+	DropProb float64
+	// DelayProb delays a write by a uniform duration in (0, MaxDelay].
+	DelayProb float64
+	// MaxDelay bounds an injected delay (default 10ms when DelayProb > 0).
+	MaxDelay time.Duration
+	// SeverProb closes the connection instead of writing (a hard link
+	// failure; the peer observes EOF/reset).
+	SeverProb float64
+}
+
+// Validate checks the plan's probabilities.
+func (p FaultPlan) Validate() error {
+	for _, pr := range []float64{p.DropProb, p.DelayProb, p.SeverProb} {
+		if pr < 0 || pr > 1 {
+			return fmt.Errorf("%w: fault probability %v outside [0,1]", ErrProtocol, pr)
+		}
+	}
+	if p.MaxDelay < 0 {
+		return fmt.Errorf("%w: negative MaxDelay %v", ErrProtocol, p.MaxDelay)
+	}
+	return nil
+}
+
+// active reports whether the plan injects any fault at all.
+func (p FaultPlan) active() bool {
+	return p.DropProb > 0 || p.DelayProb > 0 || p.SeverProb > 0
+}
+
+// FaultStats counts the faults an injector has fired.
+type FaultStats struct {
+	// Drops is the number of silently discarded writes.
+	Drops int64
+	// Delays is the number of delayed writes.
+	Delays int64
+	// Severs is the number of forced connection closures.
+	Severs int64
+}
+
+// FaultInjector wraps connections with a shared, seeded fault stream so a
+// whole run (many connections, both directions) replays one schedule. It
+// is safe for concurrent use; connections wrapped by the same injector
+// draw from the same stream under a lock.
+type FaultInjector struct {
+	plan FaultPlan
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	drops  atomic.Int64
+	delays atomic.Int64
+	severs atomic.Int64
+}
+
+// NewFaultInjector builds an injector for the plan.
+func NewFaultInjector(plan FaultPlan) (*FaultInjector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.DelayProb > 0 && plan.MaxDelay == 0 {
+		plan.MaxDelay = 10 * time.Millisecond
+	}
+	return &FaultInjector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}, nil
+}
+
+// Stats returns the cumulative fault counts.
+func (fi *FaultInjector) Stats() FaultStats {
+	return FaultStats{
+		Drops:  fi.drops.Load(),
+		Delays: fi.delays.Load(),
+		Severs: fi.severs.Load(),
+	}
+}
+
+// Wrap returns conn with the injector's faults applied to every write.
+// A nil injector or an inactive plan returns conn unchanged.
+func (fi *FaultInjector) Wrap(conn net.Conn) net.Conn {
+	if fi == nil || !fi.plan.active() {
+		return conn
+	}
+	return &FaultyConn{Conn: conn, inj: fi}
+}
+
+// Dial connects over TCP and wraps the connection. It matches the
+// ClientOptions.Dialer signature, so a tenant client can dial through the
+// injector.
+func (fi *FaultInjector) Dial(addr string) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, deadline)
+	if err != nil {
+		return nil, err
+	}
+	return fi.Wrap(conn), nil
+}
+
+// draw samples the fault decision for one write.
+func (fi *FaultInjector) draw() (drop bool, delay time.Duration, sever bool) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.rng.Float64() < fi.plan.SeverProb {
+		return false, 0, true
+	}
+	if fi.rng.Float64() < fi.plan.DropProb {
+		return true, 0, false
+	}
+	if fi.rng.Float64() < fi.plan.DelayProb {
+		d := time.Duration(fi.rng.Int63n(int64(fi.plan.MaxDelay))) + 1
+		return false, d, false
+	}
+	return false, 0, false
+}
+
+// FaultyConn is a net.Conn that injects seeded faults into writes: each
+// write (one protocol message, for the newline-delimited codec) may be
+// dropped, delayed, or replaced by severing the connection. Reads pass
+// through untouched — the peer's injector models the reverse direction.
+type FaultyConn struct {
+	net.Conn
+	inj     *FaultInjector
+	severed atomic.Bool
+}
+
+// Write applies the injector's fault decision to one message write.
+func (fc *FaultyConn) Write(p []byte) (int, error) {
+	if fc.severed.Load() {
+		return 0, net.ErrClosed
+	}
+	drop, delay, sever := fc.inj.draw()
+	switch {
+	case sever:
+		fc.inj.severs.Add(1)
+		fc.Sever()
+		return 0, fmt.Errorf("%w: injected sever", net.ErrClosed)
+	case drop:
+		fc.inj.drops.Add(1)
+		return len(p), nil // pretend success; the message is gone
+	case delay > 0:
+		fc.inj.delays.Add(1)
+		time.Sleep(delay)
+	}
+	return fc.Conn.Write(p)
+}
+
+// Sever force-closes the underlying connection, simulating a hard link
+// failure. Subsequent writes fail immediately.
+func (fc *FaultyConn) Sever() {
+	if fc.severed.CompareAndSwap(false, true) {
+		_ = fc.Conn.Close()
+	}
+}

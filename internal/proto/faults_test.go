@@ -1,0 +1,156 @@
+package proto
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestFaultPlanValidate(t *testing.T) {
+	bad := []FaultPlan{
+		{DropProb: -0.1},
+		{DropProb: 1.1},
+		{DelayProb: 2},
+		{SeverProb: -1},
+		{MaxDelay: -time.Second},
+	}
+	for i, p := range bad {
+		if _, err := NewFaultInjector(p); err == nil {
+			t.Errorf("plan %d accepted: %+v", i, p)
+		}
+	}
+	if _, err := NewFaultInjector(FaultPlan{}); err != nil {
+		t.Errorf("zero plan rejected: %v", err)
+	}
+}
+
+func TestFaultInjectorInactiveWrapIsIdentity(t *testing.T) {
+	fi, err := NewFaultInjector(FaultPlan{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if got := fi.Wrap(a); got != a {
+		t.Error("inactive plan should not wrap the connection")
+	}
+	var nilInj *FaultInjector
+	if got := nilInj.Wrap(a); got != a {
+		t.Error("nil injector should not wrap the connection")
+	}
+}
+
+func TestFaultyConnDropsWrites(t *testing.T) {
+	fi, err := NewFaultInjector(FaultPlan{Seed: 7, DropProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	wrapped := fi.Wrap(a)
+	done := make(chan []byte, 1)
+	go func() {
+		buf, _ := io.ReadAll(b)
+		done <- buf
+	}()
+	if n, err := wrapped.Write([]byte("hello\n")); err != nil || n != 6 {
+		t.Fatalf("dropped write reported (%d, %v), want full success", n, err)
+	}
+	wrapped.Close()
+	b.SetReadDeadline(time.Now().Add(time.Second))
+	if got := <-done; len(got) != 0 {
+		t.Errorf("peer received %q despite 100%% drop", got)
+	}
+	if st := fi.Stats(); st.Drops != 1 {
+		t.Errorf("stats = %+v, want 1 drop", st)
+	}
+}
+
+func TestFaultyConnSeversConnection(t *testing.T) {
+	fi, err := NewFaultInjector(FaultPlan{Seed: 3, SeverProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	defer b.Close()
+	wrapped := fi.Wrap(a)
+	if _, err := wrapped.Write([]byte("x\n")); err == nil {
+		t.Fatal("severed write succeeded")
+	}
+	// Subsequent writes fail immediately too.
+	if _, err := wrapped.Write([]byte("y\n")); err == nil {
+		t.Fatal("write after sever succeeded")
+	}
+	// The peer observes the closure.
+	b.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := b.Read(make([]byte, 1)); err == nil {
+		t.Error("peer read succeeded after sever")
+	}
+	if st := fi.Stats(); st.Severs != 1 {
+		t.Errorf("stats = %+v, want 1 sever", st)
+	}
+}
+
+func TestFaultyConnDelaysWrites(t *testing.T) {
+	fi, err := NewFaultInjector(FaultPlan{Seed: 5, DelayProb: 1, MaxDelay: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	wrapped := fi.Wrap(a)
+	go func() {
+		_, _ = wrapped.Write([]byte("z"))
+	}()
+	buf := make([]byte, 1)
+	b.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := b.Read(buf); err != nil || buf[0] != 'z' {
+		t.Fatalf("delayed write lost: %v", err)
+	}
+	if st := fi.Stats(); st.Delays != 1 {
+		t.Errorf("stats = %+v, want 1 delay", st)
+	}
+}
+
+func TestFaultStreamSeededReproducibly(t *testing.T) {
+	// Two injectors with the same plan make identical per-write decisions
+	// for a serial write sequence.
+	pattern := func(seed int64) []bool {
+		fi, err := NewFaultInjector(FaultPlan{Seed: seed, DropProb: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := net.Pipe()
+		defer a.Close()
+		go func() { _, _ = io.Copy(io.Discard, b) }()
+		wrapped := fi.Wrap(a)
+		var drops []bool
+		last := int64(0)
+		for i := 0; i < 64; i++ {
+			_, _ = wrapped.Write([]byte("m\n"))
+			st := fi.Stats()
+			drops = append(drops, st.Drops > last)
+			last = st.Drops
+		}
+		return drops
+	}
+	p1, p2 := pattern(42), pattern(42)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("write %d: drop decision differs across same-seed injectors", i)
+		}
+	}
+	p3 := pattern(43)
+	same := true
+	for i := range p1 {
+		if p1[i] != p3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced the identical 64-write fault pattern")
+	}
+}

@@ -9,6 +9,12 @@ import (
 	"spotdc/internal/power"
 )
 
+// ErrBreakerOpen reports that the market loop's circuit breaker is open:
+// after too many consecutive slot failures the loop degrades to
+// PowerCapped-equivalent behavior (no spot capacity sold) instead of
+// hammering a failing operator.
+var ErrBreakerOpen = errors.New("proto: market circuit breaker open")
+
 // SlotClock implements the Fig. 6 timing discipline: wall-clock time is
 // divided into fixed slots; bids for slot t are due before the slot
 // starts, the market clears at the boundary, and the allocation is valid
@@ -53,6 +59,13 @@ func (c *SlotClock) BidDeadline(slot int) time.Time { return c.StartOf(slot) }
 // slot boundary it collects the slot's bids from the server, predicts spot
 // capacity from the supplied reading, clears, and broadcasts price and
 // grants. It is the tested core of cmd/spotdc-operator.
+//
+// Failure semantics follow Section III-C: a slot whose clearing fails
+// degrades to the safe default — a zero-price, no-grant broadcast, so every
+// connected tenant runs without spot capacity for that slot — and the loop
+// continues. A market must never stop because one slot went bad. A
+// configurable circuit breaker additionally trips the loop into sustained
+// PowerCapped-equivalent behavior after too many consecutive failures.
 type MarketLoop struct {
 	// Server is the protocol endpoint tenants connect to.
 	Server *Server
@@ -65,9 +78,38 @@ type MarketLoop struct {
 	Reading func(slot int) power.Reading
 	// RackID maps market rack indices to wire IDs.
 	RackID func(rack int) string
-	// OnSlot, if non-nil, observes every completed slot.
+	// OnSlot, if non-nil, observes every successfully cleared slot.
 	OnSlot func(slot int, out operator.SlotOutcome, bids int)
+	// OnSlotError, if non-nil, observes every degraded slot: err is the
+	// clearing failure, or ErrBreakerOpen for slots skipped while the
+	// breaker is open.
+	OnSlotError func(slot int, err error)
+	// MaxConsecutiveFailures trips the circuit breaker after this many
+	// consecutive slot failures (0 disables the breaker: every slot
+	// retries clearing). While open, slots degrade without touching the
+	// operator — PowerCapped-equivalent behavior.
+	MaxConsecutiveFailures int
+	// BreakerCooldownSlots, when the breaker is open, lets one probe slot
+	// attempt clearing after this many degraded slots (half-open retry);
+	// success closes the breaker. 0 keeps the breaker open for the rest of
+	// the run once tripped.
+	BreakerCooldownSlots int
+
+	// Internal degradation state; read them only after RunSlots returns
+	// (or from OnSlot/OnSlotError callbacks, which run on the loop
+	// goroutine).
+	slotErrors  int
+	consecFails int
+	tripped     bool
+	cooldown    int
 }
+
+// SlotErrors returns how many slots degraded to the no-spot default
+// (including slots skipped while the breaker was open).
+func (l *MarketLoop) SlotErrors() int { return l.slotErrors }
+
+// BreakerTripped reports whether the circuit breaker is currently open.
+func (l *MarketLoop) BreakerTripped() bool { return l.tripped }
 
 // validate checks the loop wiring.
 func (l *MarketLoop) validate() error {
@@ -82,13 +124,32 @@ func (l *MarketLoop) validate() error {
 		return errors.New("proto: market loop needs a reading source")
 	case l.RackID == nil:
 		return errors.New("proto: market loop needs a rack-ID mapper")
+	case l.MaxConsecutiveFailures < 0:
+		return fmt.Errorf("proto: MaxConsecutiveFailures %d negative", l.MaxConsecutiveFailures)
+	case l.BreakerCooldownSlots < 0:
+		return fmt.Errorf("proto: BreakerCooldownSlots %d negative", l.BreakerCooldownSlots)
 	}
 	return nil
 }
 
+// degrade applies the Section III-C safe default for a failed slot: an
+// explicit zero-price, no-grant broadcast (so tenants learn "no spot
+// capacity" immediately instead of waiting out their price timeout) and
+// the failure is recorded.
+func (l *MarketLoop) degrade(slot int, err error) {
+	l.slotErrors++
+	l.Server.Broadcast(slot, 0, nil, l.RackID)
+	if l.OnSlotError != nil {
+		l.OnSlotError(slot, err)
+	}
+}
+
 // RunSlots executes the loop for the given slots, sleeping until each
 // slot's boundary. For simulation-speed tests use a clock with millisecond
-// slots. It returns the number of slots that cleared successfully.
+// slots. It returns the number of slots that cleared successfully; slots
+// whose clearing failed degrade to a zero-price broadcast and are counted
+// by SlotErrors. The returned error is non-nil only for configuration
+// errors — per-slot failures never stop the market.
 func (l *MarketLoop) RunSlots(fromSlot, slots int) (int, error) {
 	if err := l.validate(); err != nil {
 		return 0, err
@@ -102,11 +163,31 @@ func (l *MarketLoop) RunSlots(fromSlot, slots int) (int, error) {
 		if wait := time.Until(l.Clock.StartOf(slot)); wait > 0 {
 			time.Sleep(wait)
 		}
+		// Always drain the slot's bids, even when degraded: collection
+		// advances the acceptance window and prunes the bid map.
 		bids := l.Server.TakeBids(slot)
+		if l.tripped {
+			if l.BreakerCooldownSlots == 0 || l.cooldown > 0 {
+				if l.cooldown > 0 {
+					l.cooldown--
+				}
+				l.degrade(slot, ErrBreakerOpen)
+				continue
+			}
+			// Half-open: fall through and let this slot probe the market.
+		}
 		out, err := l.Operator.RunSlot(bids, l.Reading(slot), slotHours)
 		if err != nil {
-			return cleared, fmt.Errorf("proto: slot %d: %w", slot, err)
+			l.consecFails++
+			if l.MaxConsecutiveFailures > 0 && l.consecFails >= l.MaxConsecutiveFailures {
+				l.tripped = true
+				l.cooldown = l.BreakerCooldownSlots
+			}
+			l.degrade(slot, fmt.Errorf("proto: slot %d: %w", slot, err))
+			continue
 		}
+		l.consecFails = 0
+		l.tripped = false
 		l.Server.Broadcast(slot, out.Result.Price, out.Result.Allocations, l.RackID)
 		if l.OnSlot != nil {
 			l.OnSlot(slot, out, len(bids))

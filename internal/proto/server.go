@@ -7,12 +7,50 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"spotdc/internal/core"
 )
 
 // RackResolver maps wire rack IDs to market rack indices.
 type RackResolver func(id string) (int, bool)
+
+// ServerOptions tunes the operator-side endpoint's robustness knobs. The
+// zero value gives sensible production defaults.
+type ServerOptions struct {
+	// SessionTTL reaps a session that has sent nothing (bid or heartbeat)
+	// for this long: a half-open connection must not block the tenant name
+	// forever — the tenant simply has no spot capacity until it
+	// reconnects (Section III-C). Default 60s.
+	SessionTTL time.Duration
+	// ReapInterval is how often expired sessions are swept. Default
+	// SessionTTL/4.
+	ReapInterval time.Duration
+	// BidWindow bounds how far ahead of the market a bid may be: once the
+	// loop has collected slot t, only bids for slots (t, t+BidWindow] are
+	// accepted. Anything further out is rejected (it would sit in the bid
+	// map unpruned), anything at or before t is rejected as stale (it
+	// missed its market — the no-spot default applies). Default 16.
+	BidWindow int
+	// WrapConn, if non-nil, wraps every accepted connection — the
+	// fault-injection hook (see FaultInjector.Wrap).
+	WrapConn func(net.Conn) net.Conn
+}
+
+func (o *ServerOptions) setDefaults() {
+	if o.SessionTTL <= 0 {
+		o.SessionTTL = 60 * time.Second
+	}
+	if o.ReapInterval <= 0 {
+		o.ReapInterval = o.SessionTTL / 4
+	}
+	if o.ReapInterval < time.Millisecond {
+		o.ReapInterval = time.Millisecond
+	}
+	if o.BidWindow <= 0 {
+		o.BidWindow = 16
+	}
+}
 
 // Server is the operator-side endpoint of Fig. 5: it accepts tenant
 // sessions, collects their per-slot bids, and broadcasts clearing results.
@@ -21,6 +59,7 @@ type RackResolver func(id string) (int, bool)
 type Server struct {
 	ln      net.Listener
 	resolve RackResolver
+	opts    ServerOptions
 	logf    func(format string, args ...interface{})
 
 	mu       sync.Mutex
@@ -28,7 +67,15 @@ type Server struct {
 	sessions map[string]*session
 	// bids[slot][tenant] holds validated bids awaiting collection.
 	bids map[int]map[string][]core.Bid
+	// taken is the most recent slot passed to TakeBids; bids are only
+	// accepted inside (taken, taken+BidWindow]. Before the first take
+	// (haveTaken false) any non-negative slot is accepted.
+	taken     int
+	haveTaken bool
+	reaped    int // sessions expired by the reaper or evicted on re-hello
+
 	wg   sync.WaitGroup
+	stop chan struct{}
 }
 
 type session struct {
@@ -36,13 +83,23 @@ type session struct {
 	racks  map[string]int // wire ID → rack index
 	codec  *Codec
 	sendMu sync.Mutex
+	// lastSeen is the arrival time of the session's most recent message,
+	// guarded by the server mutex; the reaper expires sessions on it.
+	lastSeen time.Time
 }
 
-// NewServer listens on addr ("127.0.0.1:0" for an ephemeral port).
+// NewServer listens on addr ("127.0.0.1:0" for an ephemeral port) with
+// default options.
 func NewServer(addr string, resolve RackResolver) (*Server, error) {
+	return NewServerOpts(addr, resolve, ServerOptions{})
+}
+
+// NewServerOpts listens on addr with explicit robustness options.
+func NewServerOpts(addr string, resolve RackResolver, opts ServerOptions) (*Server, error) {
 	if resolve == nil {
 		return nil, errors.New("proto: nil rack resolver")
 	}
+	opts.setDefaults()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -50,12 +107,15 @@ func NewServer(addr string, resolve RackResolver) (*Server, error) {
 	s := &Server{
 		ln:       ln,
 		resolve:  resolve,
+		opts:     opts,
 		logf:     log.Printf,
 		sessions: make(map[string]*session),
 		bids:     make(map[int]map[string][]core.Bid),
+		stop:     make(chan struct{}),
 	}
-	s.wg.Add(1)
+	s.wg.Add(2)
 	go s.acceptLoop()
+	go s.reapLoop()
 	return s, nil
 }
 
@@ -76,12 +136,56 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		if s.opts.WrapConn != nil {
+			conn = s.opts.WrapConn(conn)
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			s.handle(conn)
 		}()
 	}
+}
+
+// reapLoop periodically expires half-open sessions: a session whose last
+// message is older than SessionTTL is closed and its tenant name freed, so
+// a crashed-and-restarted tenant can re-hello instead of being locked out.
+func (s *Server) reapLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.opts.ReapInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-ticker.C:
+			s.reapExpired(now)
+		}
+	}
+}
+
+func (s *Server) reapExpired(now time.Time) {
+	var expired []*session
+	s.mu.Lock()
+	for name, sess := range s.sessions {
+		if now.Sub(sess.lastSeen) > s.opts.SessionTTL {
+			delete(s.sessions, name)
+			s.reaped++
+			expired = append(expired, sess)
+		}
+	}
+	s.mu.Unlock()
+	for _, sess := range expired {
+		s.logf("proto: session %s expired (idle > %v), reaped", sess.tenant, s.opts.SessionTTL)
+		_ = sess.codec.Close()
+	}
+}
+
+// ReapedSessions returns how many sessions were expired or evicted.
+func (s *Server) ReapedSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reaped
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -102,23 +206,42 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		sess.racks[id] = idx
 	}
+	var evict *session
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return
 	}
-	if _, dup := s.sessions[hello.Tenant]; dup {
-		s.mu.Unlock()
-		_ = codec.Send(Message{Type: TypeError, Detail: "tenant already connected"})
-		return
+	if old, dup := s.sessions[hello.Tenant]; dup {
+		// A live duplicate is rejected; an expired one is a half-open
+		// leftover of a dead connection — evict it so the reconnecting
+		// tenant is not locked out until the next reaper sweep.
+		if time.Since(old.lastSeen) <= s.opts.SessionTTL {
+			s.mu.Unlock()
+			_ = codec.Send(Message{Type: TypeError, Detail: "tenant already connected"})
+			return
+		}
+		delete(s.sessions, hello.Tenant)
+		s.reaped++
+		evict = old
 	}
+	sess.lastSeen = time.Now()
 	s.sessions[hello.Tenant] = sess
 	s.mu.Unlock()
+	if evict != nil {
+		s.logf("proto: session %s expired, evicted by re-hello", hello.Tenant)
+		_ = evict.codec.Close()
+	}
 	_ = sess.send(Message{Type: TypeHeartBeat, Tenant: hello.Tenant})
 
 	defer func() {
 		s.mu.Lock()
-		delete(s.sessions, hello.Tenant)
+		// Only remove the entry if it is still ours: a reaper eviction
+		// followed by a re-hello may have installed a fresh session under
+		// the same tenant name.
+		if s.sessions[hello.Tenant] == sess {
+			delete(s.sessions, hello.Tenant)
+		}
 		s.mu.Unlock()
 	}()
 	for {
@@ -130,6 +253,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
+		s.touch(sess)
 		switch msg.Type {
 		case TypeHeartBeat:
 			_ = sess.send(Message{Type: TypeHeartBeat, Tenant: hello.Tenant, Slot: msg.Slot})
@@ -143,6 +267,13 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// touch refreshes the session's liveness timestamp.
+func (s *Server) touch(sess *session) {
+	s.mu.Lock()
+	sess.lastSeen = time.Now()
+	s.mu.Unlock()
+}
+
 func (sess *session) send(m Message) error {
 	sess.sendMu.Lock()
 	defer sess.sendMu.Unlock()
@@ -150,6 +281,9 @@ func (sess *session) send(m Message) error {
 }
 
 func (s *Server) acceptBids(sess *session, msg Message) error {
+	if msg.Slot < 0 {
+		return fmt.Errorf("bid for negative slot %d", msg.Slot)
+	}
 	converted := make([]core.Bid, 0, len(msg.Bids))
 	for _, rb := range msg.Bids {
 		idx, ok := sess.racks[rb.Rack]
@@ -164,6 +298,18 @@ func (s *Server) acceptBids(sess *session, msg Message) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Window enforcement (once the market position is known): a stale bid
+	// missed its market — the no-spot default applies — and a far-future
+	// bid would sit in the bid map unpruned, an unbounded-growth vector.
+	if s.haveTaken {
+		if msg.Slot < s.taken {
+			return fmt.Errorf("stale bid for slot %d (market is past it; no spot capacity applies)", msg.Slot)
+		}
+		if msg.Slot > s.taken+s.opts.BidWindow {
+			return fmt.Errorf("bid for slot %d outside window (accepting slots %d..%d)",
+				msg.Slot, s.taken, s.taken+s.opts.BidWindow)
+		}
+	}
 	slotBids := s.bids[msg.Slot]
 	if slotBids == nil {
 		slotBids = make(map[string][]core.Bid)
@@ -174,25 +320,39 @@ func (s *Server) acceptBids(sess *session, msg Message) error {
 	return nil
 }
 
-// TakeBids drains and returns every bid submitted for the slot, and drops
-// any stale bids for earlier slots (they missed their market — the no-spot
-// default applies).
+// TakeBids drains and returns every bid submitted for the slot, drops any
+// stale bids for earlier slots (they missed their market — the no-spot
+// default applies), and prunes anything beyond the acceptance window (only
+// possible if the window was reconfigured). It also advances the market
+// position used to window future bids.
 func (s *Server) TakeBids(slot int) []core.Bid {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !s.haveTaken || slot > s.taken {
+		s.taken = slot
+		s.haveTaken = true
+	}
 	var out []core.Bid
 	for sl, byTenant := range s.bids {
-		if sl > slot {
-			continue
-		}
-		if sl == slot {
+		switch {
+		case sl == slot:
 			for _, bs := range byTenant {
 				out = append(out, bs...)
 			}
+			delete(s.bids, sl)
+		case sl < slot, sl > s.taken+s.opts.BidWindow:
+			delete(s.bids, sl)
 		}
-		delete(s.bids, sl)
 	}
 	return out
+}
+
+// PendingBidSlots returns how many future slots currently hold buffered
+// bids (a growth observability hook; bounded by BidWindow).
+func (s *Server) PendingBidSlots() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.bids)
 }
 
 // Broadcast sends the clearing price and each tenant's own grants for the
@@ -241,6 +401,7 @@ func (s *Server) Close() error {
 		sessions = append(sessions, sess)
 	}
 	s.mu.Unlock()
+	close(s.stop)
 	err := s.ln.Close()
 	for _, sess := range sessions {
 		_ = sess.codec.Close()

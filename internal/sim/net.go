@@ -1,0 +1,333 @@
+// Networked scenario runner: drives a Scenario's tenants against the real
+// internal/proto transport (Fig. 5) instead of in-process calls, with
+// protocol-level fault injection. This is the harness behind the Section
+// III-C robustness claim: under any injected fault schedule — lost bids,
+// missed broadcasts, severed connections, operator slot failures — the
+// market keeps clearing, allocations stay feasible, and affected tenants
+// fall back to the no-spot default.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"spotdc/internal/core"
+	"spotdc/internal/operator"
+	"spotdc/internal/power"
+	"spotdc/internal/proto"
+	"spotdc/internal/tenant"
+)
+
+// NetRunOptions configures a networked scenario run.
+type NetRunOptions struct {
+	// SlotLen is the wall-clock slot length (default 40ms; the scenario's
+	// SlotSeconds still sets the *billed* slot duration so revenue matches
+	// the in-process simulator's economics).
+	SlotLen time.Duration
+	// BidFaults injects faults into tenant→operator writes (hellos and
+	// bids): the paper's "lost bid" exception.
+	BidFaults proto.FaultPlan
+	// BroadcastFaults injects faults into operator→tenant writes (price
+	// broadcasts, acks): the paper's "missed broadcast" exception.
+	BroadcastFaults proto.FaultPlan
+	// ErrorSlots poisons the operator's power reading (NaN watts) for the
+	// listed slots, forcing RunSlot to fail so the loop's degradation path
+	// is exercised end to end.
+	ErrorSlots []int
+	// MaxConsecutiveFailures / BreakerCooldownSlots configure the market
+	// loop's circuit breaker (see proto.MarketLoop).
+	MaxConsecutiveFailures int
+	BreakerCooldownSlots   int
+	// Reconnect enables tenant auto-reconnect with backoff (see
+	// proto.ClientOptions).
+	Reconnect bool
+	// SessionTTL is the server-side half-open session expiry (default
+	// 10×SlotLen).
+	SessionTTL time.Duration
+	// BidWindow is the server's bid acceptance window in slots (default
+	// proto's 16).
+	BidWindow int
+}
+
+func (o *NetRunOptions) setDefaults() {
+	if o.SlotLen <= 0 {
+		o.SlotLen = 40 * time.Millisecond
+	}
+	if o.SessionTTL <= 0 {
+		o.SessionTTL = 10 * o.SlotLen
+	}
+}
+
+// NetTenantStats reports one tenant's view of a networked run.
+type NetTenantStats struct {
+	// Name is the tenant name.
+	Name string
+	// BidSlots counts slots the agent submitted (or tried to submit) bids
+	// for.
+	BidSlots int
+	// SubmitFailures counts bid submissions that failed even after
+	// reconnect: the tenant ran those slots without spot capacity.
+	SubmitFailures int
+	// GrantSlots counts slots with a positive spot grant received.
+	GrantSlots int
+	// NoSpotSlots counts awaited slots that ended in the no-spot default
+	// (missed broadcast, rejected bid, or degraded zero-price slot).
+	NoSpotSlots int
+	// Reconnects counts restored connections.
+	Reconnects int
+	// DialFailed marks a tenant that never established its session.
+	DialFailed bool
+}
+
+// NetResult is the outcome of a networked scenario run.
+type NetResult struct {
+	// Slots echoes the horizon; Cleared counts slots that cleared and
+	// SlotErrors slots that degraded to the no-spot default.
+	Slots      int
+	Cleared    int
+	SlotErrors int
+	// BreakerTripped reports whether the loop ended with the circuit
+	// breaker open.
+	BreakerTripped bool
+	// InfeasibleSlots counts broadcast allocations that failed an
+	// independent VerifyFeasible re-check — any value but zero is a
+	// reliability violation.
+	InfeasibleSlots int
+	// BidFaults / BroadcastFaults are the injected-fault counts for each
+	// direction.
+	BidFaults       proto.FaultStats
+	BroadcastFaults proto.FaultStats
+	// ReapedSessions counts server-side session expirations/evictions.
+	ReapedSessions int
+	// SpotRevenue is the operator's cumulative spot revenue in $.
+	SpotRevenue float64
+	// Tenants maps tenant name to its networked stats.
+	Tenants map[string]*NetTenantStats
+}
+
+// netBids converts an agent's market bids to wire form. Only piece-wise
+// linear bids have a four-parameter wire encoding (Eqn. 5); others are
+// dropped (the wire protocol is exactly the paper's).
+func netBids(topo *power.Topology, bids []core.Bid) []proto.RackBid {
+	out := make([]proto.RackBid, 0, len(bids))
+	for _, b := range bids {
+		lb, ok := b.Fn.(core.LinearBid)
+		if !ok {
+			continue
+		}
+		out = append(out, proto.RackBid{
+			Rack: topo.Racks[b.Rack].ID,
+			DMax: lb.DMax, DMin: lb.DMin, QMin: lb.QMin, QMax: lb.QMax,
+		})
+	}
+	return out
+}
+
+// NetRun executes the scenario's market over real TCP connections with the
+// given fault schedule. The operator side runs proto.MarketLoop (with its
+// degradation semantics); each agent runs a tenant goroutine that bids per
+// slot and awaits the price broadcast, pacing itself by the shared slot
+// clock so a missed broadcast costs exactly one slot. Agents' Execute
+// feedback is not replayed into the readings — racks are referenced at 75%
+// of their guarantee, as in the spotdc-operator demo — because the harness
+// exists to stress the transport, not the workload models.
+func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	opts.setDefaults()
+	op, err := operator.New(operator.Config{
+		Topology:      sc.Topo,
+		MarketOptions: sc.MarketOptions,
+		Pricing:       sc.Pricing,
+		Predict:       sc.Predict,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bidInj, err := proto.NewFaultInjector(opts.BidFaults)
+	if err != nil {
+		return nil, err
+	}
+	bcastInj, err := proto.NewFaultInjector(opts.BroadcastFaults)
+	if err != nil {
+		return nil, err
+	}
+	topo := sc.Topo
+	srv, err := proto.NewServerOpts("127.0.0.1:0", func(id string) (int, bool) {
+		return topo.RackByID(id)
+	}, proto.ServerOptions{
+		SessionTTL: opts.SessionTTL,
+		BidWindow:  opts.BidWindow,
+		WrapConn:   bcastInj.Wrap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv.SetLogf(func(string, ...interface{}) {}) // faults are expected; stay quiet
+	defer srv.Close()
+
+	clock, err := proto.NewSlotClock(time.Now().Add(2*opts.SlotLen), opts.SlotLen)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reference reading: racks at 75% of their guarantee, non-participants
+	// from their traces; ErrorSlots poison the snapshot with NaN so
+	// RunSlot fails and the loop must degrade.
+	errorSlot := make(map[int]bool, len(opts.ErrorSlots))
+	for _, s := range opts.ErrorSlots {
+		errorSlot[s] = true
+	}
+	rackWatts := make([]float64, len(topo.Racks))
+	for i, r := range topo.Racks {
+		rackWatts[i] = 0.75 * r.Guaranteed
+	}
+	otherWatts := make([]float64, len(topo.PDUs))
+	reading := func(slot int) power.Reading {
+		if errorSlot[slot] {
+			return power.Reading{
+				RackWatts:     []float64{math.NaN()},
+				OtherPDUWatts: otherWatts,
+			}
+		}
+		for m := range otherWatts {
+			otherWatts[m] = sc.OtherLoad[m].At(slot)
+		}
+		return power.Reading{RackWatts: rackWatts, OtherPDUWatts: otherWatts}
+	}
+
+	res := &NetResult{
+		Slots:   sc.Slots,
+		Tenants: make(map[string]*NetTenantStats, len(sc.Agents)),
+	}
+	loop := proto.MarketLoop{
+		Server:                 srv,
+		Operator:               op,
+		Clock:                  clock,
+		Reading:                reading,
+		RackID:                 func(i int) string { return topo.Racks[i].ID },
+		MaxConsecutiveFailures: opts.MaxConsecutiveFailures,
+		BreakerCooldownSlots:   opts.BreakerCooldownSlots,
+		OnSlot: func(slot int, out operator.SlotOutcome, bids int) {
+			if err := op.VerifyFeasible(out.Result.Allocations); err != nil {
+				res.InfeasibleSlots++
+			}
+		},
+		OnSlotError: func(slot int, err error) {},
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for idx, a := range sc.Agents {
+		wg.Add(1)
+		go func(idx int, a tenant.Agent) {
+			defer wg.Done()
+			st := runNetTenant(a, topo, srv.Addr(), clock, sc.Slots, bidInj, opts, int64(idx))
+			mu.Lock()
+			res.Tenants[st.Name] = st
+			mu.Unlock()
+		}(idx, a)
+	}
+
+	cleared, runErr := loop.RunSlots(0, sc.Slots)
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	res.Cleared = cleared
+	res.SlotErrors = loop.SlotErrors()
+	res.BreakerTripped = loop.BreakerTripped()
+	res.BidFaults = bidInj.Stats()
+	res.BroadcastFaults = bcastInj.Stats()
+	res.ReapedSessions = srv.ReapedSessions()
+	res.SpotRevenue = op.SpotRevenue()
+	return res, nil
+}
+
+// runNetTenant is one tenant's bidding loop over the wire: submit during
+// the preceding slot, await the price just after the boundary, and treat
+// every failure as "no spot capacity this slot".
+func runNetTenant(a tenant.Agent, topo *power.Topology, addr string, clock *proto.SlotClock,
+	slots int, inj *proto.FaultInjector, opts NetRunOptions, seed int64) *NetTenantStats {
+	st := &NetTenantStats{Name: a.Name()}
+	rackIDs := make([]string, 0, len(a.Racks()))
+	for _, r := range a.Racks() {
+		rackIDs = append(rackIDs, topo.Racks[r].ID)
+	}
+	copts := proto.ClientOptions{
+		Reconnect:        opts.Reconnect,
+		BackoffBase:      opts.SlotLen / 8,
+		BackoffMax:       opts.SlotLen,
+		MaxAttempts:      12,
+		Seed:             seed,
+		HandshakeTimeout: 2 * opts.SlotLen,
+		Dialer:           inj.Dial,
+	}
+	// The initial dial itself may be hit by injected faults; retry a few
+	// times before conceding the tenant never joins the market.
+	var client *proto.Client
+	var err error
+	for attempt := 0; attempt < 10; attempt++ {
+		client, err = proto.DialOpts(addr, a.Name(), rackIDs, copts)
+		if err == nil {
+			break
+		}
+		time.Sleep(opts.SlotLen / 4)
+	}
+	if err != nil {
+		st.DialFailed = true
+		return st
+	}
+	defer client.Close()
+
+	slotLen := clock.SlotLen()
+	for slot := 0; slot < slots; slot++ {
+		// Bid midway through the preceding slot (Fig. 6 discipline).
+		if wait := time.Until(clock.StartOf(slot).Add(-slotLen / 2)); wait > 0 {
+			time.Sleep(wait)
+		}
+		bids := netBids(topo, a.PlanBids(slot, tenant.MarketHint{}))
+		if len(bids) > 0 {
+			st.BidSlots++
+			if err := client.SubmitBids(slot, bids); err != nil {
+				// Lost bid: the Section III-C default applies — the
+				// tenant simply has no spot capacity this slot.
+				st.SubmitFailures++
+			}
+		} else {
+			// Idle slots still heartbeat (Fig. 5) so the server's
+			// half-open reaper doesn't expire a quiet-but-live tenant.
+			_ = client.HeartBeat(slot)
+		}
+		// Await the broadcast fired at the slot boundary, but never past
+		// 3/4 of the slot: the tenant paces itself by the clock, so one
+		// missed broadcast costs one slot, not the rest of the run.
+		timeout := time.Until(clock.StartOf(slot).Add(3 * slotLen / 4))
+		if timeout <= 0 {
+			st.NoSpotSlots++
+			continue
+		}
+		_, grants, err := client.AwaitPrice(slot, timeout)
+		total := 0.0
+		for _, g := range grants {
+			total += g.Watts
+		}
+		switch {
+		case err != nil, total <= 0:
+			st.NoSpotSlots++
+		default:
+			st.GrantSlots++
+		}
+	}
+	st.Reconnects = client.Reconnects()
+	return st
+}
+
+// String summarizes a networked run.
+func (r *NetResult) String() string {
+	return fmt.Sprintf("net: %d/%d slots cleared (%d degraded, breaker=%v), %d infeasible, revenue $%.6f, faults bid=%+v bcast=%+v",
+		r.Cleared, r.Slots, r.SlotErrors, r.BreakerTripped, r.InfeasibleSlots, r.SpotRevenue, r.BidFaults, r.BroadcastFaults)
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"spotdc/internal/proto"
+)
+
+func TestNetRunCleanFaultFree(t *testing.T) {
+	sc := testbedScenario(t, TestbedOptions{Seed: 21, Slots: 40})
+	res, err := NetRun(sc, NetRunOptions{SlotLen: 15 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cleared != 40 || res.SlotErrors != 0 {
+		t.Errorf("cleared=%d errors=%d, want 40/0", res.Cleared, res.SlotErrors)
+	}
+	if res.BreakerTripped {
+		t.Error("breaker tripped on a fault-free run")
+	}
+	if res.InfeasibleSlots != 0 {
+		t.Errorf("%d infeasible allocations on a fault-free run", res.InfeasibleSlots)
+	}
+	var zero proto.FaultStats
+	if res.BidFaults != zero || res.BroadcastFaults != zero {
+		t.Errorf("faults injected without a plan: bid=%+v bcast=%+v", res.BidFaults, res.BroadcastFaults)
+	}
+	if len(res.Tenants) != 8 {
+		t.Fatalf("tenants = %d", len(res.Tenants))
+	}
+	grants, bidSlots := 0, 0
+	for name, ts := range res.Tenants {
+		if ts.DialFailed {
+			t.Errorf("%s never joined without faults", name)
+		}
+		if ts.SubmitFailures != 0 {
+			t.Errorf("%s: %d submit failures without faults", name, ts.SubmitFailures)
+		}
+		if ts.Reconnects != 0 {
+			t.Errorf("%s reconnected %d times without faults", name, ts.Reconnects)
+		}
+		grants += ts.GrantSlots
+		bidSlots += ts.BidSlots
+	}
+	if bidSlots == 0 {
+		t.Fatal("no tenant ever bid")
+	}
+	if grants == 0 {
+		t.Error("no spot granted over the whole clean run")
+	}
+	if res.SpotRevenue <= 0 {
+		t.Error("clean networked run earned nothing")
+	}
+	if s := res.String(); !strings.Contains(s, "40/40 slots cleared") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// TestNetRunSeededFaultSchedule is the Section III-C acceptance run: 220
+// slots over real TCP with seeded bid loss, broadcast loss, connection
+// severing, and one forced RunSlot failure. The market must complete every
+// slot, keep every broadcast allocation feasible, and degrade affected
+// tenants to the no-spot default instead of stalling.
+func TestNetRunSeededFaultSchedule(t *testing.T) {
+	sc := testbedScenario(t, TestbedOptions{Seed: 17, Slots: 220})
+	res, err := NetRun(sc, NetRunOptions{
+		SlotLen: 15 * time.Millisecond,
+		BidFaults: proto.FaultPlan{
+			Seed: 1, DropProb: 0.08, DelayProb: 0.05, MaxDelay: 3 * time.Millisecond, SeverProb: 0.02,
+		},
+		BroadcastFaults: proto.FaultPlan{
+			Seed: 2, DropProb: 0.05, DelayProb: 0.05, MaxDelay: 3 * time.Millisecond, SeverProb: 0.01,
+		},
+		ErrorSlots:             []int{60},
+		MaxConsecutiveFailures: 5,
+		Reconnect:              true,
+		SessionTTL:             150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every slot completes: 219 clear, the poisoned slot degrades.
+	if res.Cleared != 219 {
+		t.Errorf("cleared = %d, want 219", res.Cleared)
+	}
+	if res.SlotErrors != 1 {
+		t.Errorf("slot errors = %d, want 1 (the poisoned reading)", res.SlotErrors)
+	}
+	if res.BreakerTripped {
+		t.Error("a single failure tripped the breaker (max 5)")
+	}
+	// The invariant of the paper: no broadcast allocation is ever
+	// infeasible, no matter what the transport does.
+	if res.InfeasibleSlots != 0 {
+		t.Errorf("%d infeasible allocations under faults", res.InfeasibleSlots)
+	}
+	// The schedule actually fired in both directions.
+	if res.BidFaults.Drops == 0 || res.BidFaults.Severs == 0 {
+		t.Errorf("bid faults never fired: %+v", res.BidFaults)
+	}
+	if res.BroadcastFaults.Drops == 0 {
+		t.Errorf("broadcast faults never fired: %+v", res.BroadcastFaults)
+	}
+	grants, noSpot, reconnects := 0, 0, 0
+	for name, ts := range res.Tenants {
+		if ts.DialFailed {
+			t.Errorf("%s never joined despite dial retries", name)
+		}
+		grants += ts.GrantSlots
+		noSpot += ts.NoSpotSlots
+		reconnects += ts.Reconnects
+	}
+	// Affected tenants default to no spot capacity…
+	if noSpot == 0 {
+		t.Error("no tenant ever hit the no-spot default under this schedule")
+	}
+	// …but the market still functions: grants flow and severed tenants
+	// rejoin via auto-reconnect.
+	if grants == 0 {
+		t.Error("no spot granted across the faulty run")
+	}
+	if reconnects == 0 {
+		t.Error("no client ever reconnected despite injected severs")
+	}
+	if res.SpotRevenue <= 0 {
+		t.Error("faulty run earned nothing")
+	}
+}
+
+func TestNetRunValidation(t *testing.T) {
+	sc := testbedScenario(t, TestbedOptions{Seed: 1, Slots: 5})
+	if _, err := NetRun(sc, NetRunOptions{BidFaults: proto.FaultPlan{DropProb: 2}}); err == nil {
+		t.Error("invalid bid fault plan accepted")
+	}
+	if _, err := NetRun(sc, NetRunOptions{BroadcastFaults: proto.FaultPlan{SeverProb: -1}}); err == nil {
+		t.Error("invalid broadcast fault plan accepted")
+	}
+	bad := sc
+	bad.Slots = 0
+	if _, err := NetRun(bad, NetRunOptions{}); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}

@@ -284,12 +284,14 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 				}
 				bids = append(bids, a.PlanBids(slot, hint)...)
 			}
-			start := time.Now()
 			out, err := op.RunSlot(bids, reading, slotHours)
 			if err != nil {
 				return nil, fmt.Errorf("sim: slot %d: %w", slot, err)
 			}
-			res.ClearingTime += time.Since(start)
+			// Time only the market clearing itself (out.ClearDuration), not
+			// prediction + feasibility + billing: Fig. 7(b) measures the
+			// clearing algorithm's scaling.
+			res.ClearingTime += out.ClearDuration
 			res.Clearings++
 			for _, a := range out.Result.Allocations {
 				if a.Watts > 0 {

@@ -3,10 +3,14 @@
 #
 #   1. go build ./...        everything compiles
 #   2. go vet ./...          static checks
-#   3. go test -race ./...   all tests under the race detector, so the
-#                            parallel candidate evaluation inside the exact
-#                            clearing engine (internal/core/clear_exact.go)
-#                            is exercised with race checking on every run
+#   3. go test -race on the concurrency-heavy packages — the protocol
+#      layer (sessions, reconnect, fault injection) and the networked
+#      simulator harness — so the Section III-C robustness machinery is
+#      exercised under race checking explicitly on every run
+#   4. go test -race ./...   everything else under the race detector, so
+#                            the parallel candidate evaluation inside the
+#                            exact clearing engine
+#                            (internal/core/clear_exact.go) is covered too
 #
 # Tier-1 (ROADMAP.md) remains `go build ./... && go test ./...`; this script
 # is a superset of it.
@@ -17,6 +21,8 @@ echo '== go build ./...'
 go build ./...
 echo '== go vet ./...'
 go vet ./...
+echo '== go test -race ./internal/proto/... ./internal/sim/...'
+go test -race -count=1 ./internal/proto/... ./internal/sim/...
 echo '== go test -race ./...'
 go test -race ./...
 echo 'check: OK'

@@ -241,6 +241,13 @@ type (
 	TestbedOptions = sim.TestbedOptions
 	// ScaledOptions parameterizes the large-scale scenario.
 	ScaledOptions = sim.ScaledOptions
+	// NetRunOptions configures a networked scenario run with an injected
+	// fault schedule.
+	NetRunOptions = sim.NetRunOptions
+	// NetResult is the outcome of a networked scenario run.
+	NetResult = sim.NetResult
+	// NetTenantStats is one tenant's view of a networked run.
+	NetTenantStats = sim.NetTenantStats
 )
 
 // Simulation modes.
@@ -259,6 +266,10 @@ func Scaled(opt ScaledOptions) (Scenario, error) { return sim.Scaled(opt) }
 // Run simulates a scenario.
 func Run(sc Scenario, opts RunOptions) (*SimResult, error) { return sim.Run(sc, opts) }
 
+// NetRun executes a scenario's market over real TCP connections under an
+// injected fault schedule — the Section III-C robustness harness.
+func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) { return sim.NetRun(sc, opts) }
+
 // TenantCost computes a tenant's total cost over a run (subscription +
 // energy + spot payments).
 func TenantCost(r *SimResult, pricing Pricing, name string) (float64, error) {
@@ -269,8 +280,14 @@ func TenantCost(r *SimResult, pricing Pricing, name string) (float64, error) {
 type (
 	// MarketServer is the operator-side protocol endpoint.
 	MarketServer = proto.Server
+	// MarketServerOptions tunes server robustness: session expiry, the bid
+	// acceptance window, and connection wrapping (fault injection).
+	MarketServerOptions = proto.ServerOptions
 	// MarketClient is the tenant-side protocol endpoint.
 	MarketClient = proto.Client
+	// MarketClientOptions tunes client robustness: auto-reconnect with
+	// seeded exponential backoff and re-registration.
+	MarketClientOptions = proto.ClientOptions
 	// RackBid is the wire form of the four-parameter demand function.
 	RackBid = proto.RackBid
 	// Grant is one rack's allocation in a price broadcast.
@@ -282,6 +299,31 @@ type (
 // ErrNoPrice reports a missed price broadcast; the tenant then defaults to
 // no spot capacity (Section III-C).
 var ErrNoPrice = proto.ErrNoPrice
+
+// ErrBreakerOpen tags slots degraded by the market loop's circuit breaker,
+// and ErrReconnectFailed reports an exhausted client reconnect schedule.
+var (
+	ErrBreakerOpen     = proto.ErrBreakerOpen
+	ErrReconnectFailed = proto.ErrReconnectFailed
+)
+
+// Protocol fault injection (internal/proto): deterministic drop / delay /
+// sever schedules for robustness testing of the Section III-C exception
+// semantics.
+type (
+	// FaultPlan is a seeded per-write fault schedule.
+	FaultPlan = proto.FaultPlan
+	// FaultInjector applies a FaultPlan to connections.
+	FaultInjector = proto.FaultInjector
+	// FaultStats counts injected faults.
+	FaultStats = proto.FaultStats
+)
+
+// NewFaultInjector validates a plan and builds an injector; Wrap applied to
+// a net.Conn (or Dial used as a client dialer) enforces the schedule.
+func NewFaultInjector(plan FaultPlan) (*FaultInjector, error) {
+	return proto.NewFaultInjector(plan)
+}
 
 // Networked market loop (Fig. 5/6).
 type (
@@ -301,9 +343,21 @@ func NewMarketServer(addr string, resolve RackResolver) (*MarketServer, error) {
 	return proto.NewServer(addr, resolve)
 }
 
+// NewMarketServerOpts starts the operator-side endpoint with explicit
+// robustness options (session TTL reaping, bid window, fault wrapping).
+func NewMarketServerOpts(addr string, resolve RackResolver, opts MarketServerOptions) (*MarketServer, error) {
+	return proto.NewServerOpts(addr, resolve, opts)
+}
+
 // DialMarket connects a tenant to the operator and registers its racks.
 func DialMarket(addr, tenantName string, racks []string) (*MarketClient, error) {
 	return proto.Dial(addr, tenantName, racks)
+}
+
+// DialMarketOpts connects with explicit robustness options (auto-reconnect
+// with backoff, custom dialer).
+func DialMarketOpts(addr, tenantName string, racks []string, opts MarketClientOptions) (*MarketClient, error) {
+	return proto.DialOpts(addr, tenantName, racks, opts)
 }
 
 // Power capping (internal/capping).
