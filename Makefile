@@ -8,7 +8,8 @@
 #                       with bid loss, broadcast loss, severed connections
 #                       and a forced operator failure, race detector on
 #   make bench-clearing scan vs exact Fig. 7(b) clearing-time comparison
-#   make bench          the full benchmark suite
+#   make bench          the full benchmark suite, recorded as the next free
+#                       BENCH_<n>.json artifact (scripts/bench.sh)
 
 GO ?= go
 
@@ -28,4 +29,4 @@ bench-clearing:
 	./scripts/bench-clearing.sh
 
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	./scripts/bench.sh

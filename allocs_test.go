@@ -1,0 +1,48 @@
+// Allocation budgets for the market-clearing hot loop. The clearing engines
+// keep reusable scratch inside the Market, so a steady-state Clear must not
+// allocate (grid scan) or allocate only the result's grant slice bookkeeping
+// (exact breakpoint search). These guards pin the budgets at the paper's
+// largest operating point so regressions show up as test failures rather
+// than silent GC pressure.
+package spotdc_test
+
+import (
+	"testing"
+
+	"spotdc"
+)
+
+func TestClearAllocBudget(t *testing.T) {
+	for _, tc := range []struct {
+		algo   spotdc.ClearingAlgorithm
+		budget float64
+	}{
+		// The scan engine is fully allocation-free after warm-up.
+		{spotdc.AlgorithmScan, 0},
+		// The exact engine keeps a small, rack-count-independent number of
+		// allocations for its breakpoint heap bookkeeping (measured 11 at
+		// 15,000 racks; budget leaves slack for runtime variation).
+		{spotdc.AlgorithmExact, 32},
+	} {
+		t.Run(tc.algo.String(), func(t *testing.T) {
+			cons, bids := syntheticMarket(15000)
+			mkt, err := spotdc.NewMarket(cons, spotdc.MarketOptions{PriceStep: 0.001, Algorithm: tc.algo})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm up the reusable scratch once; every market clears each
+			// slot of its life, so steady state is the meaningful regime.
+			if _, err := mkt.Clear(bids); err != nil {
+				t.Fatal(err)
+			}
+			avg := testing.AllocsPerRun(5, func() {
+				if _, err := mkt.Clear(bids); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg > tc.budget {
+				t.Errorf("algo %v: %v allocs/Clear at 15000 racks, budget %v", tc.algo, avg, tc.budget)
+			}
+		})
+	}
+}

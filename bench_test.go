@@ -67,6 +67,14 @@ func BenchmarkFig7bClearingTime(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
+					// Warm up the market's reusable scratch buffers once: a
+					// market clears every slot of its life, so the
+					// steady-state per-slot cost is the meaningful figure
+					// (and -benchtime=1x runs would otherwise charge the
+					// one-time warm-up growth to the measurement).
+					if _, err := mkt.Clear(bids); err != nil {
+						b.Fatal(err)
+					}
 					b.ReportAllocs()
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {

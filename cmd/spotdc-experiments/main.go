@@ -4,70 +4,160 @@
 //
 // Usage:
 //
-//	spotdc-experiments [-seed N] [-long-slots N] [-scale-slots N] [-all] [id ...]
+//	spotdc-experiments [-seed N] [-long-slots N] [-scale-slots N] [-all] \
+//	    [-workers N] [-parallel] \
+//	    [-cpuprofile f] [-memprofile f] [-trace f] [-pprof-addr host:port] \
+//	    [id ...]
+//
+// Parallelism: -workers caps the scenario fan-out pool each experiment uses
+// for its independent simulation runs (0 = GOMAXPROCS, 1 = serial), and
+// -parallel additionally enables intra-slot agent parallelism inside every
+// simulation. Both knobs are bit-reproducible: the same seed produces the
+// same reports at any worker count.
+//
+// Profiling: -cpuprofile/-memprofile/-trace write pprof / execution-trace
+// files covering the experiment runs; -pprof-addr serves net/http/pprof for
+// live inspection (go tool pprof http://host:port/debug/pprof/profile).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 
 	"spotdc/internal/experiments"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "spotdc-experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	seed := flag.Int64("seed", 42, "seed for all synthetic traces")
 	longSlots := flag.Int("long-slots", 0, "slots for extended runs (default 21600 = 30 days of 2-minute slots)")
 	scaleSlots := flag.Int("scale-slots", 0, "slots for the fig18 scaling runs (default 720)")
 	all := flag.Bool("all", false, "run every experiment")
 	outDir := flag.String("out", "", "also write each report to <dir>/<id>.txt")
+	workers := flag.Int("workers", 0, "scenario fan-out workers (0 = GOMAXPROCS, 1 = serial)")
+	parallel := flag.Bool("parallel", false, "enable intra-slot agent parallelism (bit-identical to serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	opt := experiments.Options{Seed: *seed, LongSlots: *longSlots, ScaleSlots: *scaleSlots}
-	ids := flag.Args()
-	if *all {
-		ids = experiments.IDs()
+	opt := experiments.Options{
+		Seed: *seed, LongSlots: *longSlots, ScaleSlots: *scaleSlots,
+		Workers: *workers, Parallel: *parallel,
 	}
-	if len(ids) == 0 {
+	ids := flag.Args()
+	if !*all && len(ids) == 0 {
 		fmt.Println("available experiments:")
 		for _, id := range experiments.IDs() {
 			title, _ := experiments.Title(id)
 			fmt.Printf("  %-8s %s\n", id, title)
 		}
-		return
+		return nil
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "spotdc-experiments: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
-	for _, id := range ids {
-		rep, err := experiments.Run(id, opt)
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "spotdc-experiments: pprof server: %v\n", err)
+			}
+		}()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "spotdc-experiments: %s: %v\n", id, err)
-			os.Exit(1)
+			return err
 		}
-		if err := rep.Fprint(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "spotdc-experiments: %v\n", err)
-			os.Exit(1)
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
 		}
-		if *outDir != "" {
-			f, err := os.Create(filepath.Join(*outDir, id+".txt"))
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return err
+		}
+		defer trace.Stop()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "spotdc-experiments: %v\n", err)
-				os.Exit(1)
+				return
 			}
-			if err := rep.Fprint(f); err != nil {
-				f.Close()
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintf(os.Stderr, "spotdc-experiments: %v\n", err)
-				os.Exit(1)
 			}
-			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "spotdc-experiments: %v\n", err)
-				os.Exit(1)
+		}()
+	}
+
+	var reports []*experiments.Report
+	if *all {
+		// The whole suite: experiments run concurrently on the -workers
+		// pool, reports come back in sorted-ID order.
+		reps, err := experiments.RunAll(opt)
+		if err != nil {
+			return err
+		}
+		reports = reps
+	} else {
+		for _, id := range ids {
+			rep, err := experiments.Run(id, opt)
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			reports = append(reports, rep)
+		}
+	}
+	for _, rep := range reports {
+		if err := rep.Fprint(os.Stdout); err != nil {
+			return err
+		}
+		if *outDir != "" {
+			if err := writeReport(*outDir, rep); err != nil {
+				return err
 			}
 		}
 	}
+	return nil
+}
+
+func writeReport(dir string, rep *experiments.Report) error {
+	f, err := os.Create(filepath.Join(dir, rep.ID+".txt"))
+	if err != nil {
+		return err
+	}
+	if err := rep.Fprint(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

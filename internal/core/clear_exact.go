@@ -212,8 +212,11 @@ type priceCandidate struct {
 
 // exactScratch holds clearExact's reusable working memory, so steady-state
 // clearing (one call per market slot, or a benchmark loop) allocates almost
-// nothing. It shares the Market's single-threaded contract.
+// nothing. It shares the Market's single-threaded contract; the parallel
+// candidate verification hands each worker a private buffer out of
+// verifyBufs.
 type exactScratch struct {
+	// piece decomposition + breakpoint grid (stage 1).
 	pieces  []linPiece
 	pdus    []int
 	knots   []float64
@@ -223,6 +226,24 @@ type exactScratch struct {
 	evStart []int
 	fill    []int
 	evs     []sweepEvent
+	// sweep working state (stage 2).
+	sweepA    []float64
+	sweepB    []float64
+	over      []bool
+	pos       []int
+	overList  []int
+	touched   []int
+	rawPieces []linPiece
+	ratPieces []linPiece
+	// candidate selection + verification (stages 3–4). top is a fixed-size
+	// array backing the bounded top-k selection (the +1 slot holds the
+	// range-start fallback).
+	cands      []priceCandidate
+	top        [exactVerifyCandidates + 1]priceCandidate
+	prices     []float64
+	watts      []float64
+	ok         []bool
+	verifyBufs [][]float64
 }
 
 // i32s returns dst resized to n (reallocating only on growth).
@@ -237,6 +258,22 @@ func i32s(dst []int32, n int) []int32 {
 func ints(dst []int, n int) []int {
 	if cap(dst) < n {
 		return make([]int, n)
+	}
+	return dst[:n]
+}
+
+// f64s returns dst resized to n (reallocating only on growth).
+func f64s(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
+}
+
+// bools returns dst resized to n (reallocating only on growth).
+func bools(dst []bool, n int) []bool {
+	if cap(dst) < n {
+		return make([]bool, n)
 	}
 	return dst[:n]
 }
@@ -332,11 +369,11 @@ func (m *Market) clearExact(bids []Bid) Result {
 	sw := m.sweep(evs, evStart, grid)
 
 	// 3. Analytic per-segment maximization → ranked candidates.
-	var cands []priceCandidate
+	cands := sc.cands[:0]
 	var start float64
 	if m.opts.Ration {
 		start = floor
-		cands = collectCandidates(sw.ratPieces, start, true)
+		cands = collectCandidates(cands, sw.ratPieces, start, true)
 	} else {
 		start = sw.qStar
 		attained := sw.qStarAttained
@@ -345,37 +382,44 @@ func (m *Market) clearExact(bids []Bid) Result {
 			// price strictly above qStar is feasible.
 			start = math.Nextafter(sw.qStar, math.Inf(1))
 		}
-		cands = collectCandidates(sw.rawPieces, start, attained)
+		cands = collectCandidates(cands, sw.rawPieces, start, attained)
 	}
 	if len(cands) == 0 {
 		cands = append(cands, priceCandidate{price: start})
 	}
+	sc.cands = cands
 
 	// 4. Keep the analytically best candidates (the range start always
 	// rides along as a safe fallback) and verify them against the real
-	// demand curves in parallel.
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].rev != cands[j].rev {
-			return cands[i].rev > cands[j].rev
-		}
-		return cands[i].price < cands[j].price
-	})
-	if len(cands) > exactVerifyCandidates {
-		cands = cands[:exactVerifyCandidates]
+	// demand curves in parallel. The candidate list is large (one or two
+	// entries per affine piece — tens of thousands at 15,000 racks), but
+	// only exactVerifyCandidates survive, so a bounded insertion pass by
+	// (revenue desc, price asc) replaces a full sort: O(n·k) with k = 8,
+	// no comparator closures, no allocation.
+	top := sc.top[:0]
+	for _, c := range cands {
+		top = insertTopK(top, c, exactVerifyCandidates)
 	}
 	hasStart := false
-	for _, c := range cands {
+	for _, c := range top {
 		if c.price == start {
 			hasStart = true
 			break
 		}
 	}
 	if !hasStart {
-		cands = append(cands, priceCandidate{price: start})
+		top = append(top, priceCandidate{price: start}) // fits: cap is k+1
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].price < cands[j].price })
-	prices := make([]float64, len(cands))
-	for i, c := range cands {
+	// Ascending price order (≤ k+1 entries: insertion sort) so the winner
+	// loop tie-breaks deterministically toward the lower price.
+	for i := 1; i < len(top); i++ {
+		for j := i; j > 0 && top[j].price < top[j-1].price; j-- {
+			top[j], top[j-1] = top[j-1], top[j]
+		}
+	}
+	prices := f64s(sc.prices, len(top))
+	sc.prices = prices
+	for i, c := range top {
 		prices[i] = c.price
 	}
 	watts, ok := m.verifyCandidates(bids, prices)
@@ -405,12 +449,38 @@ func (m *Market) clearExact(bids []Bid) Result {
 	return m.materialize(res, bids, bestWatts, bestRev)
 }
 
+// candBetter ranks candidates for verification: higher analytic revenue
+// first, lower price on ties (the deterministic low-price preference).
+func candBetter(a, b priceCandidate) bool {
+	if a.rev != b.rev {
+		return a.rev > b.rev
+	}
+	return a.price < b.price
+}
+
+// insertTopK maintains top (sorted best-first under candBetter, at most k
+// entries) after considering c. The caller provides a slice with enough
+// capacity, so no allocation ever happens.
+func insertTopK(top []priceCandidate, c priceCandidate, k int) []priceCandidate {
+	switch {
+	case len(top) < k:
+		top = append(top, c)
+	case candBetter(c, top[len(top)-1]):
+		top[len(top)-1] = c
+	default:
+		return top
+	}
+	for i := len(top) - 1; i > 0 && candBetter(top[i], top[i-1]); i-- {
+		top[i], top[i-1] = top[i-1], top[i]
+	}
+	return top
+}
+
 // collectCandidates extracts the per-piece analytic revenue maximizers —
 // the right endpoint of each piece plus any interior quadratic vertex — for
-// prices at or above start.
-func collectCandidates(pieces []linPiece, start float64, startAttained bool) []priceCandidate {
+// prices at or above start, appending to out (a reused scratch slice).
+func collectCandidates(out []priceCandidate, pieces []linPiece, start float64, startAttained bool) []priceCandidate {
 	rev := func(p linPiece, q float64) float64 { return q * p.eval(q) / 1000 }
-	var out []priceCandidate
 	for _, p := range pieces {
 		if p.hi <= start {
 			continue
@@ -442,8 +512,10 @@ func collectCandidates(pieces []linPiece, start float64, startAttained bool) []p
 // market's shared scratch is untouched, preserving the documented
 // single-threaded contract for everything else.
 func (m *Market) verifyCandidates(bids []Bid, prices []float64) (watts []float64, ok []bool) {
-	watts = make([]float64, len(prices))
-	ok = make([]bool, len(prices))
+	sc := &m.exact
+	watts = f64s(sc.watts, len(prices))
+	ok = bools(sc.ok, len(prices))
+	sc.watts, sc.ok = watts, ok
 	workers := m.opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -456,6 +528,11 @@ func (m *Market) verifyCandidates(bids []Bid, prices []float64) (watts []float64
 	if workers > len(prices) {
 		workers = len(prices)
 	}
+	// Per-worker private PDU-load buffers, grown once and reused across
+	// Clear calls (the PDU count is fixed per Market).
+	for len(sc.verifyBufs) < workers {
+		sc.verifyBufs = append(sc.verifyBufs, make([]float64, len(m.cons.PDUSpot)))
+	}
 	evalOne := func(buf []float64, i int) {
 		if m.opts.Ration {
 			watts[i] = m.rationedInto(buf, bids, prices[i])
@@ -465,9 +542,8 @@ func (m *Market) verifyCandidates(bids []Bid, prices []float64) (watts []float64
 		watts[i], ok[i] = m.feasibleInto(buf, bids, prices[i])
 	}
 	if workers <= 1 {
-		buf := make([]float64, len(m.cons.PDUSpot))
 		for i := range prices {
-			evalOne(buf, i)
+			evalOne(sc.verifyBufs[0], i)
 		}
 		return watts, ok
 	}
@@ -476,7 +552,7 @@ func (m *Market) verifyCandidates(bids []Bid, prices []float64) (watts []float64
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			buf := make([]float64, len(m.cons.PDUSpot))
+			buf := sc.verifyBufs[w]
 			for i := w; i < len(prices); i += workers {
 				evalOne(buf, i)
 			}
@@ -513,16 +589,25 @@ type sweepState struct {
 // the exact clamped total for rationed clearing.
 func (m *Market) sweep(evs []sweepEvent, evStart []int, grid []float64) sweepState {
 	nPDU := len(m.cons.PDUSpot)
-	A := make([]float64, nPDU)
-	B := make([]float64, nPDU)
-	over := make([]bool, nPDU)
-	pos := make([]int, nPDU) // index into overList while over
-	overList := make([]int, 0, nPDU)
+	sc := &m.exact
+	A := f64s(sc.sweepA, nPDU)
+	B := f64s(sc.sweepB, nPDU)
+	over := bools(sc.over, nPDU)
+	for i := 0; i < nPDU; i++ {
+		A[i], B[i], over[i] = 0, 0, false
+	}
+	pos := ints(sc.pos, nPDU)               // index into overList while over
+	overList := ints(sc.overList, nPDU)[:0] // never exceeds nPDU entries
+	sc.sweepA, sc.sweepB, sc.over, sc.pos = A, B, over, pos
 	rawA, rawB := 0.0, 0.0
 	underA, underB := 0.0, 0.0
 	overCapSum := 0.0
 	floor := grid[0]
-	st := sweepState{qStar: floor, qStarAttained: true}
+	st := sweepState{
+		qStar: floor, qStarAttained: true,
+		rawPieces: sc.rawPieces[:0],
+		ratPieces: sc.ratPieces[:0],
+	}
 
 	markFeasible := func(pdu int, at float64, attained bool) {
 		over[pdu] = false
@@ -541,7 +626,7 @@ func (m *Market) sweep(evs []sweepEvent, evStart []int, grid []float64) sweepSta
 		}
 	}
 
-	touched := make([]int, 0, 16)
+	touched := ints(sc.touched, 16)[:0]
 	applyIdx := func(gi int) {
 		touched = touched[:0]
 		for ei := evStart[gi]; ei < evStart[gi+1]; ei++ {
@@ -673,5 +758,8 @@ func (m *Market) sweep(evs []sweepEvent, evStart []int, grid []float64) sweepSta
 		// frontier sits just above the last grid price.
 		st.qStar, st.qStarAttained = grid[len(grid)-1], false
 	}
+	// Persist grown buffers for the next Clear on this market.
+	sc.overList, sc.touched = overList[:0], touched[:0]
+	sc.rawPieces, sc.ratPieces = st.rawPieces, st.ratPieces
 	return st
 }

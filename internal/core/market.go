@@ -147,6 +147,12 @@ type Result struct {
 	Price float64
 	// Allocations lists the per-rack grants (one per bid, zero-watt grants
 	// included so callers can observe priced-out racks).
+	//
+	// Ownership: the slice is backed by the Market's reusable scratch buffer
+	// and is valid only until the next Clear/ClearWithExtras call on the
+	// same Market. Callers that retain grants across clearings must copy
+	// (the market loop broadcasts and the simulator consumes grants within
+	// the slot, so the steady-state clearing path allocates nothing).
 	Allocations []Allocation
 	// TotalWatts is the total spot capacity sold.
 	TotalWatts float64
@@ -175,10 +181,26 @@ type Market struct {
 	extras *Extras
 	// scratch per-PDU accumulation buffer.
 	pduLoad []float64
+	// allocBuf backs Result.Allocations across clearings (see the ownership
+	// note on Result.Allocations): steady-state clearing materializes into
+	// this buffer instead of allocating per slot.
+	allocBuf []Allocation
+	// pduScale is rationedAllocations' per-PDU scale factor scratch.
+	pduScale []float64
 	// exact holds the reusable buffers of the breakpoint-driven engine
 	// (same single-threaded contract as pduLoad; the parallel candidate
 	// verification uses private per-worker buffers instead).
 	exact exactScratch
+}
+
+// allocs returns the market-owned allocation buffer resized to n
+// (reallocating only on growth).
+func (m *Market) allocs(n int) []Allocation {
+	if cap(m.allocBuf) < n {
+		m.allocBuf = make([]Allocation, n)
+	}
+	m.allocBuf = m.allocBuf[:n]
+	return m.allocBuf
 }
 
 // NewMarket validates the constraints and builds a market. The constraints'
@@ -294,10 +316,11 @@ func (m *Market) rationedAt(bids []Bid, price float64) float64 {
 }
 
 // rationedAllocations materializes the per-rack grants at a price under
-// proportional rationing.
+// proportional rationing, into the market-owned allocation buffer.
 func (m *Market) rationedAllocations(bids []Bid, price float64) ([]Allocation, float64) {
 	m.servedAt(bids, price)
-	pduScale := make([]float64, len(m.pduLoad))
+	pduScale := f64s(m.pduScale, len(m.pduLoad))
+	m.pduScale = pduScale
 	total := 0.0
 	for i, load := range m.pduLoad {
 		pduScale[i] = 1
@@ -311,7 +334,7 @@ func (m *Market) rationedAllocations(bids []Bid, price float64) ([]Allocation, f
 		upsScale = m.cons.UPSSpot / total
 		total = m.cons.UPSSpot
 	}
-	allocs := make([]Allocation, len(bids))
+	allocs := m.allocs(len(bids))
 	for i, b := range bids {
 		d := b.Fn.Demand(price)
 		if hr := m.cons.RackHeadroom[b.Rack]; d > hr {
@@ -355,6 +378,10 @@ func (m *Market) feasibleAt(bids []Bid, price float64) bool {
 // default when every bid exposes its piece-wise linear structure) or the
 // Section III-C grid scan at PriceStep granularity. Bids referencing
 // out-of-range racks are rejected.
+//
+// The returned Result.Allocations slice is owned by the Market and valid
+// only until the next Clear/ClearWithExtras call; copy it to retain grants
+// across clearings.
 func (m *Market) Clear(bids []Bid) (Result, error) {
 	for _, b := range bids {
 		if b.Rack < 0 || b.Rack >= len(m.cons.RackHeadroom) {
@@ -500,7 +527,7 @@ func (m *Market) materialize(res Result, bids []Bid, watts, revenue float64) Res
 	}
 	res.TotalWatts = watts
 	res.RevenueRate = revenue
-	res.Allocations = make([]Allocation, len(bids))
+	res.Allocations = m.allocs(len(bids))
 	for i, b := range bids {
 		d := b.Fn.Demand(res.Price)
 		if hr := m.cons.RackHeadroom[b.Rack]; d > hr {

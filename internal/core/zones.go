@@ -276,7 +276,7 @@ func (m *Market) ClearWithExtras(bids []Bid) (Result, error) {
 	res.TotalWatts = bestWatts
 	res.RevenueRate = bestRevenue
 	res.Evaluations = evals
-	res.Allocations = make([]Allocation, len(bids))
+	res.Allocations = m.allocs(len(bids))
 	serve := serveAt(bestPrice)
 	for i, b := range bids {
 		res.Allocations[i] = Allocation{Rack: b.Rack, Tenant: b.Tenant, Watts: serve(b)}

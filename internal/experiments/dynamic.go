@@ -3,7 +3,9 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sort"
 
+	"spotdc/internal/par"
 	"spotdc/internal/sim"
 	"spotdc/internal/stats"
 	"spotdc/internal/tenant"
@@ -36,8 +38,12 @@ func demoTrace(opt Options) sim.TestbedOptions {
 	}
 }
 
-// runTestbed runs the Table I scenario in the given mode.
-func runTestbed(tb sim.TestbedOptions, mode sim.Mode, record bool) (*sim.Result, error) {
+// runTestbed runs the Table I scenario in the given mode, threading the
+// suite-level intra-slot parallelism knob (Options.Parallel) into the
+// simulator. Parallel simulation is bit-identical to serial, so enabling it
+// never changes a report.
+func runTestbed(opt Options, tb sim.TestbedOptions, mode sim.Mode, record bool) (*sim.Result, error) {
+	tb.Parallel = tb.Parallel || opt.Parallel
 	sc, err := sim.Testbed(tb)
 	if err != nil {
 		return nil, err
@@ -47,7 +53,7 @@ func runTestbed(tb sim.TestbedOptions, mode sim.Mode, record bool) (*sim.Result,
 
 func fig10(opt Options) (*Report, error) {
 	tb := demoTrace(opt)
-	res, err := runTestbed(tb, sim.ModeSpotDC, true)
+	res, err := runTestbed(opt, tb, sim.ModeSpotDC, true)
 	if err != nil {
 		return nil, err
 	}
@@ -72,11 +78,7 @@ func fig10(opt Options) (*Report, error) {
 
 func fig11(opt Options) (*Report, error) {
 	tb := demoTrace(opt)
-	spot, err := runTestbed(tb, sim.ModeSpotDC, true)
-	if err != nil {
-		return nil, err
-	}
-	capped, err := runTestbed(tb, sim.ModePowerCapped, true)
+	spot, capped, err := twoModes(opt, tb, sim.ModeSpotDC, sim.ModePowerCapped, true)
 	if err != nil {
 		return nil, err
 	}
@@ -102,8 +104,26 @@ func fig11(opt Options) (*Report, error) {
 	return r, nil
 }
 
+// twoModes runs the same testbed under two modes as independent scenarios
+// on the fan-out pool.
+func twoModes(opt Options, tb sim.TestbedOptions, a, b sim.Mode, record bool) (*sim.Result, *sim.Result, error) {
+	modes := [2]sim.Mode{a, b}
+	var out [2]*sim.Result
+	err := par.ForErr(opt.Workers, 2, func(i int) error {
+		res, e := runTestbed(opt, tb, modes[i], record)
+		out[i] = res
+		return e
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out[0], out[1], nil
+}
+
 // longRun runs the extended evaluation in all three modes over the same
-// scenario seed.
+// scenario seed. The three runs are independent simulations and execute
+// concurrently on the Options.Workers pool; results are returned by mode,
+// never by completion order.
 func longRun(opt Options, tb sim.TestbedOptions) (capped, spot, maxperf *sim.Result, err error) {
 	if tb.Slots == 0 {
 		tb.Slots = opt.LongSlots
@@ -111,14 +131,17 @@ func longRun(opt Options, tb sim.TestbedOptions) (capped, spot, maxperf *sim.Res
 	if tb.Seed == 0 {
 		tb.Seed = opt.Seed
 	}
-	if capped, err = runTestbed(tb, sim.ModePowerCapped, false); err != nil {
-		return
+	modes := [3]sim.Mode{sim.ModePowerCapped, sim.ModeSpotDC, sim.ModeMaxPerf}
+	var out [3]*sim.Result
+	err = par.ForErr(opt.Workers, len(modes), func(i int) error {
+		res, e := runTestbed(opt, tb, modes[i], false)
+		out[i] = res
+		return e
+	})
+	if err != nil {
+		return nil, nil, nil, err
 	}
-	if spot, err = runTestbed(tb, sim.ModeSpotDC, false); err != nil {
-		return
-	}
-	maxperf, err = runTestbed(tb, sim.ModeMaxPerf, false)
-	return
+	return out[0], out[1], out[2], nil
 }
 
 func fig12(opt Options) (*Report, error) {
@@ -172,11 +195,7 @@ func maxOf(xs []float64) float64 { m, _ := stats.Max(xs); return m }
 
 func fig13(opt Options) (*Report, error) {
 	tb := sim.TestbedOptions{Seed: opt.Seed, Slots: opt.LongSlots}
-	spot, err := runTestbed(tb, sim.ModeSpotDC, false)
-	if err != nil {
-		return nil, err
-	}
-	capped, err := runTestbed(tb, sim.ModePowerCapped, false)
+	spot, capped, err := twoModes(opt, tb, sim.ModeSpotDC, sim.ModePowerCapped, false)
 	if err != nil {
 		return nil, err
 	}
@@ -208,23 +227,37 @@ func median(c *stats.CDF) float64 {
 	return v
 }
 
-// availabilitySweep runs the testbed at several capacity scales and
-// reports measured average spot availability (as % of subscriptions)
-// alongside per-scale results.
+// sweepPoint runs one (policy, capacity-scale) cell of the Fig. 14/15
+// availability sweep and reports the measured average spot availability
+// (as % of subscriptions) alongside the run.
+func sweepPoint(opt Options, policy tenant.BidPolicy, scale float64) (float64, *sim.Result, error) {
+	tb := sim.TestbedOptions{
+		Seed: opt.Seed, Slots: opt.LongSlots / 4, CapacityScale: scale, Policy: policy,
+	}
+	res, err := runTestbed(opt, tb, sim.ModeSpotDC, false)
+	if err != nil {
+		return 0, nil, err
+	}
+	subs := res.Operator.Topology().TotalGuaranteed() + 500
+	return stats.Mean(res.SpotAvailable) / subs, res, nil
+}
+
+// availabilitySweep runs the testbed at several capacity scales — each an
+// independent scenario, fanned out on the Options.Workers pool — and
+// returns availability and per-scale results indexed like scales.
 func availabilitySweep(opt Options, policy tenant.BidPolicy, scales []float64) ([]float64, []*sim.Result, error) {
-	avail := make([]float64, 0, len(scales))
-	results := make([]*sim.Result, 0, len(scales))
-	for _, cs := range scales {
-		tb := sim.TestbedOptions{
-			Seed: opt.Seed, Slots: opt.LongSlots / 4, CapacityScale: cs, Policy: policy,
+	avail := make([]float64, len(scales))
+	results := make([]*sim.Result, len(scales))
+	err := par.ForErr(opt.Workers, len(scales), func(i int) error {
+		a, res, e := sweepPoint(opt, policy, scales[i])
+		if e != nil {
+			return e
 		}
-		res, err := runTestbed(tb, sim.ModeSpotDC, false)
-		if err != nil {
-			return nil, nil, err
-		}
-		subs := res.Operator.Topology().TotalGuaranteed() + 500
-		avail = append(avail, stats.Mean(res.SpotAvailable)/subs)
-		results = append(results, res)
+		avail[i], results[i] = a, res
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return avail, results, nil
 }
@@ -240,18 +273,29 @@ func fig14(opt Options) (*Report, error) {
 		Title:  "Operator extra profit by demand function vs average spot availability",
 		Header: []string{"capacity scale", "avg spot %subs", "StepBid", "LinearBid (SpotDC)", "FullBid"},
 	}
+	// The full (policy × scale) grid is one flat batch of independent
+	// scenarios, so the fan-out pool stays saturated across policy
+	// boundaries instead of draining between sweeps.
 	policies := []tenant.BidPolicy{tenant.PolicyStep, tenant.PolicyElastic, tenant.PolicyFull}
 	profits := make([][]float64, len(policies))
-	var avail []float64
-	for pi, p := range policies {
-		a, results, err := availabilitySweep(opt, p, sweepScales)
-		if err != nil {
-			return nil, err
+	for pi := range profits {
+		profits[pi] = make([]float64, len(sweepScales))
+	}
+	avail := make([]float64, len(sweepScales))
+	err := par.ForErr(opt.Workers, len(policies)*len(sweepScales), func(k int) error {
+		pi, si := k/len(sweepScales), k%len(sweepScales)
+		a, res, e := sweepPoint(opt, policies[pi], sweepScales[si])
+		if e != nil {
+			return e
 		}
-		avail = a
-		for _, res := range results {
-			profits[pi] = append(profits[pi], res.Profit(500).ExtraProfitFraction)
+		profits[pi][si] = res.Profit(500).ExtraProfitFraction
+		if pi == len(policies)-1 { // availability column: last policy, as before
+			avail[si] = a
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for i, cs := range sweepScales {
 		r.AddRow(F(cs), Pct(avail[i]), Pct(profits[0][i]), Pct(profits[1][i]), Pct(profits[2][i]))
@@ -271,13 +315,19 @@ func fig15(opt Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, res := range results {
+	// The per-scale PowerCapped baselines are independent too.
+	cappedRes := make([]*sim.Result, len(sweepScales))
+	err = par.ForErr(opt.Workers, len(sweepScales), func(i int) error {
 		tb := sim.TestbedOptions{Seed: opt.Seed, Slots: opt.LongSlots / 4, CapacityScale: sweepScales[i]}
-		capped, err := runTestbed(tb, sim.ModePowerCapped, false)
-		if err != nil {
-			return nil, err
-		}
-		perf := meanPerfRatio(res, capped)
+		res, e := runTestbed(opt, tb, sim.ModePowerCapped, false)
+		cappedRes[i] = res
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		perf := meanPerfRatio(res, cappedRes[i])
 		r.AddRow(F(sweepScales[i]), Pct(avail[i]),
 			Pct(res.Profit(500).ExtraProfitFraction), F(perf), F(median(stats.NewCDF(res.Prices))))
 	}
@@ -285,11 +335,26 @@ func fig15(opt Options) (*Report, error) {
 	return r, nil
 }
 
+// sortedNames returns a result's tenant names in lexicographic order.
+// Aggregations over tenants must accumulate floats in a fixed order — map
+// iteration order would make report cells jitter in their last digits from
+// run to run, defeating the suite's bit-reproducibility guarantee (the
+// fan-out determinism tests compare reports cell-for-cell).
+func sortedNames(tenants map[string]*sim.TenantStats) []string {
+	names := make([]string, 0, len(tenants))
+	for name := range tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // meanPerfRatio averages, across tenants that ever needed spot, the ratio
 // of mean performance (over need slots) to the PowerCapped baseline.
 func meanPerfRatio(res, capped *sim.Result) float64 {
 	var ratios []float64
-	for name, ts := range res.Tenants {
+	for _, name := range sortedNames(res.Tenants) {
+		ts := res.Tenants[name]
 		base := capped.Tenants[name]
 		if base == nil || ts.NeedSlots == 0 || base.PerfNeed.Mean() <= 0 {
 			continue
@@ -302,14 +367,16 @@ func meanPerfRatio(res, capped *sim.Result) float64 {
 func fig16(opt Options) (*Report, error) {
 	slots := opt.LongSlots / 4
 	base := sim.TestbedOptions{Seed: opt.Seed, Slots: slots}
-	plain, err := runTestbed(base, sim.ModeSpotDC, false)
+	plain, err := runTestbed(opt, base, sim.ModeSpotDC, false)
 	if err != nil {
 		return nil, err
 	}
 	// Strategic run: sprinting tenants know the clearing price
 	// (Fig. 16(a)). "Perfect knowledge" must be self-consistent — the
 	// price they anticipate is the one their own strategic bids produce —
-	// so the prediction is iterated to a fixed point.
+	// so the prediction is iterated to a fixed point. Each pass feeds on
+	// the previous pass's prices, so this loop is inherently serial (the
+	// fan-out pool cannot help here).
 	prices := plain.PriceSeries
 	var stratRes *sim.Result
 	for pass := 0; pass < 3; pass++ {
@@ -322,13 +389,13 @@ func fig16(opt Options) (*Report, error) {
 			}
 			return tenant.MarketHint{}
 		}
-		stratRes, err = runTestbed(strat, sim.ModeSpotDC, false)
+		stratRes, err = runTestbed(opt, strat, sim.ModeSpotDC, false)
 		if err != nil {
 			return nil, err
 		}
 		prices = stratRes.PriceSeries
 	}
-	capped, err := runTestbed(base, sim.ModePowerCapped, false)
+	capped, err := runTestbed(opt, base, sim.ModePowerCapped, false)
 	if err != nil {
 		return nil, err
 	}
@@ -339,8 +406,8 @@ func fig16(opt Options) (*Report, error) {
 	}
 	grant := func(res *sim.Result) float64 {
 		var g []float64
-		for _, ts := range res.Tenants {
-			if ts.Class == workload.Sprinting {
+		for _, name := range sortedNames(res.Tenants) {
+			if ts := res.Tenants[name]; ts.Class == workload.Sprinting {
 				g = append(g, ts.GrantFrac.Mean())
 			}
 		}
@@ -348,7 +415,8 @@ func fig16(opt Options) (*Report, error) {
 	}
 	perf := func(res *sim.Result) float64 {
 		var g []float64
-		for name, ts := range res.Tenants {
+		for _, name := range sortedNames(res.Tenants) {
+			ts := res.Tenants[name]
 			if ts.Class == workload.Sprinting && capped.Tenants[name].PerfNeed.Mean() > 0 {
 				g = append(g, ts.PerfNeed.Mean()/capped.Tenants[name].PerfNeed.Mean())
 			}
@@ -357,8 +425,8 @@ func fig16(opt Options) (*Report, error) {
 	}
 	pay := func(res *sim.Result) float64 {
 		t := 0.0
-		for _, ts := range res.Tenants {
-			if ts.Class == workload.Sprinting {
+		for _, name := range sortedNames(res.Tenants) {
+			if ts := res.Tenants[name]; ts.Class == workload.Sprinting {
 				t += ts.Payment
 			}
 		}
@@ -379,16 +447,28 @@ func fig17(opt Options) (*Report, error) {
 		Header: []string{"under-prediction", "extra profit", "mean perf vs capped", "spot sold kWh"},
 	}
 	slots := opt.LongSlots / 4
-	capped, err := runTestbed(sim.TestbedOptions{Seed: opt.Seed, Slots: slots}, sim.ModePowerCapped, false)
+	// The PowerCapped baseline and every under-prediction factor are
+	// independent scenarios: run all six as one batch (index 0 is the
+	// baseline, index i ≥ 1 is factors[i-1]).
+	factors := []float64{0, 0.05, 0.10, 0.15, 0.20}
+	var capped *sim.Result
+	results := make([]*sim.Result, len(factors))
+	err := par.ForErr(opt.Workers, len(factors)+1, func(i int) error {
+		if i == 0 {
+			res, e := runTestbed(opt, sim.TestbedOptions{Seed: opt.Seed, Slots: slots}, sim.ModePowerCapped, false)
+			capped = res
+			return e
+		}
+		tb := sim.TestbedOptions{Seed: opt.Seed, Slots: slots, UnderPrediction: factors[i-1]}
+		res, e := runTestbed(opt, tb, sim.ModeSpotDC, false)
+		results[i-1] = res
+		return e
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, f := range []float64{0, 0.05, 0.10, 0.15, 0.20} {
-		tb := sim.TestbedOptions{Seed: opt.Seed, Slots: slots, UnderPrediction: f}
-		res, err := runTestbed(tb, sim.ModeSpotDC, false)
-		if err != nil {
-			return nil, err
-		}
+	for i, f := range factors {
+		res := results[i]
 		r.AddRow(Pct(f), Pct(res.Profit(500).ExtraProfitFraction),
 			F(meanPerfRatio(res, capped)), F(res.Operator.SpotEnergyKWh()))
 	}
@@ -402,28 +482,35 @@ func fig18(opt Options) (*Report, error) {
 		Title:  "Scaling the number of tenants (Table I composition, ±20% jitter)",
 		Header: []string{"tenants", "extra profit", "mean cost vs capped", "mean perf vs capped"},
 	}
-	for _, n := range opt.ScaleTenants {
-		tb := sim.TestbedOptions{Seed: opt.Seed, Slots: opt.ScaleSlots}
-		scaled, err := sim.Scaled(sim.ScaledOptions{Testbed: tb, Tenants: n, JitterFrac: 0.2})
-		if err != nil {
-			return nil, err
+	// Every (tenant count × mode) run is an independent scenario; fan out
+	// the whole grid and assemble rows by index afterwards.
+	counts := opt.ScaleTenants
+	rows := make([][]string, len(counts))
+	runs := make([]*sim.Result, 2*len(counts)) // [2i] spot, [2i+1] capped
+	err := par.ForErr(opt.Workers, 2*len(counts), func(k int) error {
+		n := counts[k/2]
+		tb := sim.TestbedOptions{Seed: opt.Seed, Slots: opt.ScaleSlots, Parallel: opt.Parallel}
+		sc, e := sim.Scaled(sim.ScaledOptions{Testbed: tb, Tenants: n, JitterFrac: 0.2})
+		if e != nil {
+			return e
 		}
-		spot, err := sim.Run(scaled, sim.RunOptions{Mode: sim.ModeSpotDC})
-		if err != nil {
-			return nil, err
+		mode := sim.ModeSpotDC
+		if k%2 == 1 {
+			mode = sim.ModePowerCapped
 		}
-		cappedSc, err := sim.Scaled(sim.ScaledOptions{Testbed: tb, Tenants: n, JitterFrac: 0.2})
-		if err != nil {
-			return nil, err
-		}
-		capped, err := sim.Run(cappedSc, sim.RunOptions{Mode: sim.ModePowerCapped})
-		if err != nil {
-			return nil, err
-		}
+		res, e := sim.Run(sc, sim.RunOptions{Mode: mode})
+		runs[k] = res
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range counts {
+		spot, capped := runs[2*i], runs[2*i+1]
 		otherLeased := 500.0 * float64((n+7)/8)
 		pricing := spot.Operator.Pricing()
 		var costRatios []float64
-		for name := range spot.Tenants {
+		for _, name := range sortedNames(spot.Tenants) {
 			cs, err := sim.TenantCost(spot, pricing, name)
 			if err != nil {
 				return nil, err
@@ -436,11 +523,12 @@ func fig18(opt Options) (*Report, error) {
 				costRatios = append(costRatios, cs/cc)
 			}
 		}
-		r.AddRow(fmt.Sprint(n),
+		rows[i] = []string{fmt.Sprint(n),
 			Pct(spot.Profit(otherLeased).ExtraProfitFraction),
 			F(stats.Mean(costRatios)),
-			F(meanPerfRatio(spot, capped)))
+			F(meanPerfRatio(spot, capped))}
 	}
+	r.Rows = append(r.Rows, rows...)
 	r.Notes = append(r.Notes, "paper: results stabilize with scale at ≈+9.7% profit and ≈1.4x performance")
 	return r, nil
 }
@@ -454,7 +542,8 @@ func headline(opt Options) (*Report, error) {
 	}
 	var perfs, costs []float64
 	pricing := spot.Operator.Pricing()
-	for name, ts := range spot.Tenants {
+	for _, name := range sortedNames(spot.Tenants) {
+		ts := spot.Tenants[name]
 		base := capped.Tenants[name]
 		if ts.NeedSlots > 0 && base.PerfNeed.Mean() > 0 {
 			perfs = append(perfs, ts.PerfNeed.Mean()/base.PerfNeed.Mean())

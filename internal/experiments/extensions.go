@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"spotdc/internal/core"
+	"spotdc/internal/par"
 	"spotdc/internal/sim"
 	"spotdc/internal/stats"
 	"spotdc/internal/tenant"
@@ -24,38 +25,52 @@ func init() {
 func extPredictor(opt Options) (*Report, error) {
 	slots := opt.LongSlots / 4
 	base := sim.TestbedOptions{Seed: opt.Seed, Slots: slots}
-	capped, err := runTestbed(base, sim.ModePowerCapped, false)
-	if err != nil {
-		return nil, err
-	}
-	plain, err := runTestbed(base, sim.ModeSpotDC, false)
-	if err != nil {
-		return nil, err
-	}
-
-	// EWMA regime: tenants predict the next price from realized prices.
-	ewmaTB := base
-	ewmaTB.Policy = tenant.PolicyPricePredict
-	sc, err := sim.Testbed(ewmaTB)
-	if err != nil {
-		return nil, err
-	}
-	predictor, err := stats.NewEWMA(0.3)
-	if err != nil {
-		return nil, err
-	}
-	sc.Hint = func(slot int) tenant.MarketHint {
-		if v, ok := predictor.Value(); ok && v > 0 {
-			return tenant.MarketHint{PredictedPrice: v, HavePrediction: true}
+	// The capped baseline, the plain SpotDC run and the EWMA regime are
+	// three independent scenarios — fan them out; only the oracle fixed
+	// point below is inherently serial (each pass consumes the previous
+	// pass's prices).
+	var capped, plain, ewma *sim.Result
+	err := par.ForErr(opt.Workers, 3, func(i int) error {
+		switch i {
+		case 0:
+			res, e := runTestbed(opt, base, sim.ModePowerCapped, false)
+			capped = res
+			return e
+		case 1:
+			res, e := runTestbed(opt, base, sim.ModeSpotDC, false)
+			plain = res
+			return e
 		}
-		return tenant.MarketHint{}
-	}
-	sc.PriceFeedback = func(slot int, price float64) {
-		if price > 0 {
-			predictor.Observe(price)
+		// EWMA regime: tenants predict the next price from realized
+		// prices. The predictor state is private to this scenario; the
+		// simulator calls Hint/PriceFeedback once per slot on the slot
+		// loop's goroutine, so intra-slot agent parallelism never races it.
+		ewmaTB := base
+		ewmaTB.Policy = tenant.PolicyPricePredict
+		ewmaTB.Parallel = opt.Parallel
+		sc, e := sim.Testbed(ewmaTB)
+		if e != nil {
+			return e
 		}
-	}
-	ewma, err := sim.Run(sc, sim.RunOptions{Mode: sim.ModeSpotDC})
+		predictor, e := stats.NewEWMA(0.3)
+		if e != nil {
+			return e
+		}
+		sc.Hint = func(slot int) tenant.MarketHint {
+			if v, ok := predictor.Value(); ok && v > 0 {
+				return tenant.MarketHint{PredictedPrice: v, HavePrediction: true}
+			}
+			return tenant.MarketHint{}
+		}
+		sc.PriceFeedback = func(slot int, price float64) {
+			if price > 0 {
+				predictor.Observe(price)
+			}
+		}
+		res, e := sim.Run(sc, sim.RunOptions{Mode: sim.ModeSpotDC})
+		ewma = res
+		return e
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +88,7 @@ func extPredictor(opt Options) (*Report, error) {
 			}
 			return tenant.MarketHint{}
 		}
-		oracle, err = runTestbed(ot, sim.ModeSpotDC, false)
+		oracle, err = runTestbed(opt, ot, sim.ModeSpotDC, false)
 		if err != nil {
 			return nil, err
 		}
@@ -87,8 +102,8 @@ func extPredictor(opt Options) (*Report, error) {
 	}
 	sprintMetric := func(f func(ts *sim.TenantStats) float64, res *sim.Result) float64 {
 		var vals []float64
-		for _, ts := range res.Tenants {
-			if ts.Class == workload.Sprinting {
+		for _, name := range sortedNames(res.Tenants) {
+			if ts := res.Tenants[name]; ts.Class == workload.Sprinting {
 				vals = append(vals, f(ts))
 			}
 		}
@@ -99,7 +114,8 @@ func extPredictor(opt Options) (*Report, error) {
 	}
 	perf := func(res *sim.Result) float64 {
 		var vals []float64
-		for name, ts := range res.Tenants {
+		for _, name := range sortedNames(res.Tenants) {
+			ts := res.Tenants[name]
 			if ts.Class == workload.Sprinting && capped.Tenants[name].PerfNeed.Mean() > 0 {
 				vals = append(vals, ts.PerfNeed.Mean()/capped.Tenants[name].PerfNeed.Mean())
 			}
@@ -233,8 +249,17 @@ func extBestResponse(opt Options) (*Report, error) {
 }
 
 // extFaults sweeps the bid-loss probability: lost submissions silently
-// fall back to no spot capacity, degrading revenue gracefully and never
-// causing emergencies.
+// fall back to no spot capacity, degrading revenue gracefully. The market
+// itself never oversells — every grant stays within the measured headroom
+// of the prediction reading — but bid loss can still produce rare,
+// breaker-tolerable excursions through the Section III-C reference rule:
+// a rack that bursts from idle in the same slot its bid is lost is
+// referenced at its (idle) instantaneous draw rather than its guaranteed
+// capacity, so the operator momentarily sells slack the tenant is entitled
+// to take back. The information needed to avoid this was exactly what the
+// fault destroyed — no operator-side rule can recover it without
+// forfeiting the oversubscription upside — so such slots are counted
+// honestly and absorbed by breaker ride-through in practice.
 func extFaults(opt Options) (*Report, error) {
 	r := &Report{
 		ID:     "ext-faults",
@@ -242,25 +267,40 @@ func extFaults(opt Options) (*Report, error) {
 		Header: []string{"loss prob", "lost bids", "extra profit", "mean perf vs capped", "emergencies"},
 	}
 	slots := opt.LongSlots / 8
-	capped, err := runTestbed(sim.TestbedOptions{Seed: opt.Seed, Slots: slots}, sim.ModePowerCapped, false)
+	// One batch: the PowerCapped baseline (index 0) plus each loss
+	// probability. Bid-loss draws come from per-agent splitmix streams, so
+	// the fault pattern at a given probability is identical however the
+	// batch is scheduled.
+	probs := []float64{0, 0.05, 0.20, 0.50}
+	var capped *sim.Result
+	results := make([]*sim.Result, len(probs))
+	err := par.ForErr(opt.Workers, len(probs)+1, func(i int) error {
+		if i == 0 {
+			res, e := runTestbed(opt, sim.TestbedOptions{Seed: opt.Seed, Slots: slots}, sim.ModePowerCapped, false)
+			capped = res
+			return e
+		}
+		sc, e := sim.Testbed(sim.TestbedOptions{Seed: opt.Seed, Slots: slots, Parallel: opt.Parallel})
+		if e != nil {
+			return e
+		}
+		sc.BidLossProb = probs[i-1]
+		sc.FaultSeed = opt.Seed + 99
+		res, e := sim.Run(sc, sim.RunOptions{Mode: sim.ModeSpotDC})
+		results[i-1] = res
+		return e
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range []float64{0, 0.05, 0.20, 0.50} {
-		sc, err := sim.Testbed(sim.TestbedOptions{Seed: opt.Seed, Slots: slots})
-		if err != nil {
-			return nil, err
-		}
-		sc.BidLossProb = p
-		sc.FaultSeed = opt.Seed + 99
-		res, err := sim.Run(sc, sim.RunOptions{Mode: sim.ModeSpotDC})
-		if err != nil {
-			return nil, err
-		}
+	for i, p := range probs {
+		res := results[i]
 		r.AddRow(Pct(p), fmt.Sprint(res.LostBids), Pct(res.Profit(500).ExtraProfitFraction),
 			F(meanPerfRatio(res, capped)), fmt.Sprint(res.EmergencySlots))
 	}
-	r.Notes = append(r.Notes, "losing bids only forgoes upside; reliability is unaffected because spot is sold out of measured headroom")
+	r.Notes = append(r.Notes,
+		"losing bids only forgoes upside: spot is sold out of measured headroom, so the market never oversells",
+		"rare burst-onset excursions (a rack bursting from idle in the very slot its bid is lost) remain possible and stay within breaker ride-through")
 	return r, nil
 }
 
@@ -271,11 +311,7 @@ func extFaults(opt Options) (*Report, error) {
 func extBatch(opt Options) (*Report, error) {
 	slots := opt.LongSlots / 8
 	tb := sim.TestbedOptions{Seed: opt.Seed, Slots: slots}
-	capped, err := runTestbed(tb, sim.ModePowerCapped, true)
-	if err != nil {
-		return nil, err
-	}
-	spot, err := runTestbed(tb, sim.ModeSpotDC, true)
+	capped, spot, err := twoModes(opt, tb, sim.ModePowerCapped, sim.ModeSpotDC, true)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"spotdc/internal/par"
 )
 
 // Report is a printable experiment result.
@@ -113,6 +115,16 @@ type Options struct {
 	ScaleSlots int
 	// ClearingRacks lists the Fig. 7(b) rack counts.
 	ClearingRacks []int
+	// Workers caps the scenario fan-out pool each experiment uses for its
+	// independent (mode × sweep-point) simulation runs: 0 means
+	// runtime.GOMAXPROCS(0), 1 forces the historical serial execution.
+	// Result ordering is deterministic regardless of the setting — every
+	// runner writes results by index, never by completion order.
+	Workers int
+	// Parallel additionally enables the simulator's intra-slot agent
+	// parallelism (sim.Scenario.Parallel) for every scenario an experiment
+	// builds. Parallel runs are bit-identical to serial ones.
+	Parallel bool
 }
 
 func (o Options) withDefaults() Options {
@@ -170,4 +182,35 @@ func Run(id string, opt Options) (*Report, error) {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
 	return e.runner(opt.withDefaults())
+}
+
+// RunAll executes every registered experiment and returns the reports in
+// sorted-ID order. The experiments themselves run concurrently on a pool of
+// opt.Workers goroutines (0 ⇒ GOMAXPROCS); to keep the total concurrency
+// bounded by that single knob, each experiment's own scenario fan-out is
+// forced serial here (Run on a single ID is where the intra-experiment
+// fan-out applies). The returned slice is ordered by IDs(), independent of
+// completion order, so the same seed always yields the same report sequence.
+//
+// Note that fig7b reports wall-clock clearing times; under a concurrent
+// suite those timings share cores with other experiments and are indicative
+// rather than benchmark-grade (use scripts/bench.sh for the latter).
+func RunAll(opt Options) ([]*Report, error) {
+	opt = opt.withDefaults()
+	inner := opt
+	inner.Workers = 1
+	ids := IDs()
+	reports := make([]*Report, len(ids))
+	err := par.ForErr(opt.Workers, len(ids), func(i int) error {
+		rep, e := registry[ids[i]].runner(inner)
+		if e != nil {
+			return fmt.Errorf("%s: %w", ids[i], e)
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reports, nil
 }

@@ -125,9 +125,11 @@ func fig3(opt Options) (*Report, error) {
 		QMin: 0.05, QMax: 0.45,
 	}
 	curve := agent.TrueDemand(0)
-	elastic := agent.PlanBids(0, tenant.MarketHint{})
+	// PlanBids returns agent-owned scratch (valid until the next call);
+	// copy because both policies' bids are compared side by side below.
+	elastic := append([]core.Bid(nil), agent.PlanBids(0, tenant.MarketHint{})...)
 	agent.Policy = tenant.PolicyStep
-	stepBids := agent.PlanBids(0, tenant.MarketHint{})
+	stepBids := append([]core.Bid(nil), agent.PlanBids(0, tenant.MarketHint{})...)
 	if len(elastic) != 1 || len(stepBids) != 1 {
 		return nil, fmt.Errorf("fig3: expected bids at load 95, got %d/%d", len(elastic), len(stepBids))
 	}

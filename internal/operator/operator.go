@@ -121,6 +121,12 @@ type Operator struct {
 	payments       map[string]float64 // per-tenant cumulative $
 	lastSpot       power.Spot
 	emergencySlots int
+
+	// Per-slot scratch, reused across RunSlot/MaxPerfSlot calls so the
+	// steady-state slot loop allocates nothing here: rackBuf collects the
+	// bidding racks, spotUsers the prediction's spot-user set.
+	rackBuf   []int
+	spotUsers map[int]bool
 }
 
 // Config assembles an Operator.
@@ -188,10 +194,19 @@ func (op *Operator) LastSpot() power.Spot { return op.lastSpot }
 func (op *Operator) PredictSpot(reading power.Reading, biddingRacks []int) (power.Spot, error) {
 	opts := op.predict
 	if len(biddingRacks) > 0 {
-		opts.SpotUsers = make(map[int]bool, len(biddingRacks))
-		for _, r := range biddingRacks {
-			opts.SpotUsers[r] = true
+		// Reuse the spot-user set across slots (PredictSpot only reads it
+		// during the call).
+		if op.spotUsers == nil {
+			op.spotUsers = make(map[int]bool, len(biddingRacks))
+		} else {
+			for k := range op.spotUsers {
+				delete(op.spotUsers, k)
+			}
 		}
+		for _, r := range biddingRacks {
+			op.spotUsers[r] = true
+		}
+		opts.SpotUsers = op.spotUsers
 	}
 	return op.topo.PredictSpot(reading, opts)
 }
@@ -245,10 +260,11 @@ func (op *Operator) RunSlot(bids []core.Bid, reading power.Reading, slotHours fl
 	if err := ValidateReading(reading); err != nil {
 		return SlotOutcome{}, err
 	}
-	racks := make([]int, 0, len(bids))
+	racks := op.rackBuf[:0]
 	for _, b := range bids {
 		racks = append(racks, b.Rack)
 	}
+	op.rackBuf = racks
 	spot, err := op.PredictSpot(reading, racks)
 	if err != nil {
 		return SlotOutcome{}, err
@@ -283,10 +299,11 @@ func (op *Operator) RunSlot(bids []core.Bid, reading power.Reading, slotHours fl
 // MaxPerfSlot runs the MaxPerf baseline for one slot under the same
 // predicted spot capacity (no payments).
 func (op *Operator) MaxPerfSlot(reqs []core.MaxPerfRequest, reading power.Reading) ([]core.Allocation, power.Spot, error) {
-	racks := make([]int, 0, len(reqs))
+	racks := op.rackBuf[:0]
 	for _, r := range reqs {
 		racks = append(racks, r.Rack)
 	}
+	op.rackBuf = racks
 	spot, err := op.PredictSpot(reading, racks)
 	if err != nil {
 		return nil, power.Spot{}, err

@@ -1,0 +1,87 @@
+// Package par provides the bounded worker-pool primitives shared by the
+// parallel simulation engine: experiment scenario fan-out
+// (internal/experiments), intra-slot agent parallelism (internal/sim) and
+// parallel candidate verification (internal/core).
+//
+// The contract every caller relies on: work item i is identified by its
+// index, callers write results into slot i of a pre-sized slice, and the
+// pool imposes no ordering between items — so a parallel run is
+// bit-identical to a serial run as long as the per-index work is
+// independent. Worker counts resolve through Workers (0 ⇒ GOMAXPROCS), and
+// a resolved count of 1 (or a single item) runs inline on the calling
+// goroutine with no scheduling overhead at all.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n <= 0 means runtime.GOMAXPROCS(0),
+// anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n) on a pool of at most workers
+// goroutines (resolved via Workers). Indices are handed out dynamically
+// (work stealing via an atomic counter), so uneven item costs balance
+// across workers. It returns once every call has completed.
+//
+// workers <= 1 after resolution, or n <= 1, runs inline on the caller's
+// goroutine.
+func For(workers, n int, fn func(i int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForErr is For with error collection: it runs every call to completion
+// (no cancellation — items are independent scenarios whose partial results
+// the caller discards on error anyway) and returns the error of the
+// lowest-indexed failing call, so the reported error is deterministic
+// regardless of scheduling.
+func ForErr(workers, n int, fn func(i int) error) error {
+	var (
+		mu      sync.Mutex
+		firstI  = n
+		firstEr error
+	)
+	For(workers, n, func(i int) {
+		if err := fn(i); err != nil {
+			mu.Lock()
+			if i < firstI {
+				firstI, firstEr = i, err
+			}
+			mu.Unlock()
+		}
+	})
+	return firstEr
+}

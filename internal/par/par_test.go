@@ -1,0 +1,86 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+// TestForCoversEveryIndexOnce is the pool's core contract: fn(i) runs
+// exactly once for every i in [0, n), at any worker count, including the
+// inline paths (workers <= 1, n <= 1) and workers > n.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, workers := range []int{0, 1, 2, 4, 100} {
+		for _, n := range []int{0, 1, 2, 17, 1000} {
+			counts := make([]atomic.Int32, n)
+			For(workers, n, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForInlineOnCallerGoroutine(t *testing.T) {
+	// workers=1 must not spawn goroutines: goroutine-local state (here a
+	// plain non-atomic variable) stays safe.
+	sum := 0
+	For(1, 100, func(i int) { sum += i })
+	if sum != 4950 {
+		t.Errorf("sum = %d, want 4950", sum)
+	}
+}
+
+// TestForErrLowestIndexWins: the reported error must be the lowest-indexed
+// failure regardless of scheduling, and every item still runs (no
+// cancellation).
+func TestForErrLowestIndexWins(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := ForErr(workers, 50, func(i int) error {
+			ran.Add(1)
+			if i%10 == 7 { // fails at 7, 17, 27, 37, 47
+				return fmt.Errorf("item %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 7" {
+			t.Errorf("workers=%d: err = %v, want item 7", workers, err)
+		}
+		if ran.Load() != 50 {
+			t.Errorf("workers=%d: ran %d of 50 items", workers, ran.Load())
+		}
+	}
+}
+
+func TestForErrNilOnSuccess(t *testing.T) {
+	if err := ForErr(4, 20, func(int) error { return nil }); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+	want := errors.New("only")
+	if err := ForErr(4, 1, func(int) error { return want }); !errors.Is(err, want) {
+		t.Errorf("single-item error not propagated: %v", err)
+	}
+}

@@ -8,11 +8,11 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"time"
 
 	"spotdc/internal/core"
 	"spotdc/internal/operator"
+	"spotdc/internal/par"
 	"spotdc/internal/power"
 	"spotdc/internal/stats"
 	"spotdc/internal/tenant"
@@ -85,8 +85,18 @@ type Scenario struct {
 	// emulating the Section III-C communication-loss exception: an affected
 	// tenant silently falls back to no spot capacity for the slot.
 	BidLossProb float64
-	// FaultSeed drives the bid-loss process.
+	// FaultSeed drives the bid-loss process. Every agent derives its own
+	// splitmix64 stream from (FaultSeed, agent index), so the randomness an
+	// agent consumes is independent of iteration order (see rng.go).
 	FaultSeed int64
+	// Parallel runs the per-agent work of every slot — PlanBids /
+	// MaxPerfRequests, Execute, and per-tenant stats accumulation — on a
+	// GOMAXPROCS-bounded worker pool instead of a serial loop. Results are
+	// bit-identical to a serial run: each agent's slot work is independent
+	// (per-agent fault streams, agent-owned scratch), and every cross-agent
+	// merge (bid order, rack readings, slot series, billing) happens
+	// serially in agent order either way.
+	Parallel bool
 }
 
 func (sc *Scenario) validate() error {
@@ -257,10 +267,39 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 		reading.OtherPDUWatts[m] = sc.OtherLoad[m].At(0)
 	}
 
-	var faults *rand.Rand
+	// Per-agent fault streams: agent i's bid-loss randomness is a pure
+	// function of (FaultSeed, i, slot), independent of iteration order.
+	var faults []faultStream
 	if sc.BidLossProb > 0 {
-		faults = rand.New(rand.NewSource(sc.FaultSeed))
+		faults = make([]faultStream, len(sc.Agents))
+		for i := range faults {
+			faults[i] = newFaultStream(sc.FaultSeed, i)
+		}
 	}
+	// workers for the per-agent phases: 1 pins the pool to the calling
+	// goroutine (a plain loop), 0 resolves to GOMAXPROCS.
+	workers := 1
+	if sc.Parallel {
+		workers = 0
+	}
+	// Per-agent slot scratch, reused across slots: the parallel phases
+	// write each agent's results into its own slot, and the serial merge
+	// reads them back in agent order.
+	perAgent := make([]agentSlot, len(sc.Agents))
+	tsByIdx := make([]*TenantStats, len(sc.Agents))
+	for i, a := range sc.Agents {
+		tsByIdx[i] = res.Tenants[a.Name()]
+	}
+	var traces [][]float64
+	if opts.Record {
+		traces = make([][]float64, len(sc.Agents))
+		for i := range traces {
+			traces[i] = make([]float64, 0, sc.Slots)
+		}
+	}
+	bids := make([]core.Bid, 0, len(sc.Agents))
+	reqs := make([]core.MaxPerfRequest, 0, len(sc.Agents))
+
 	grants := make(map[int]float64)
 	for slot := 0; slot < sc.Slots; slot++ {
 		hint := tenant.MarketHint{}
@@ -274,15 +313,27 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 
 		switch opts.Mode {
 		case ModeSpotDC:
-			var bids []core.Bid
-			for _, a := range sc.Agents {
-				if faults != nil && faults.Float64() < sc.BidLossProb {
+			// Plan phase (parallel across agents): draw the agent's fault
+			// variate and plan its bids. The merge below is serial in agent
+			// order, so the submitted bid order matches a serial run.
+			par.For(workers, len(sc.Agents), func(i int) {
+				as := &perAgent[i]
+				as.bids, as.lost = nil, false
+				if faults != nil && faults[i].Float64() < sc.BidLossProb {
 					// Communication loss: the submission never arrives and
 					// the tenant defaults to no spot capacity this slot.
+					as.lost = true
+					return
+				}
+				as.bids = sc.Agents[i].PlanBids(slot, hint)
+			})
+			bids = bids[:0]
+			for i := range perAgent {
+				if perAgent[i].lost {
 					res.LostBids++
 					continue
 				}
-				bids = append(bids, a.PlanBids(slot, hint)...)
+				bids = append(bids, perAgent[i].bids...)
 			}
 			out, err := op.RunSlot(bids, reading, slotHours)
 			if err != nil {
@@ -311,9 +362,12 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 				}
 			}
 		case ModeMaxPerf:
-			var reqs []core.MaxPerfRequest
-			for _, a := range sc.Agents {
-				reqs = append(reqs, a.MaxPerfRequests(slot)...)
+			par.For(workers, len(sc.Agents), func(i int) {
+				perAgent[i].reqs = sc.Agents[i].MaxPerfRequests(slot)
+			})
+			reqs = reqs[:0]
+			for i := range perAgent {
+				reqs = append(reqs, perAgent[i].reqs...)
 			}
 			allocs, spot, err := op.MaxPerfSlot(reqs, reading)
 			if err != nil {
@@ -332,17 +386,19 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 			return nil, fmt.Errorf("sim: unknown mode %v", opts.Mode)
 		}
 
-		// Execute every agent and assemble the realized reading.
+		// Execute phase (parallel across agents): run every agent's slot and
+		// accumulate its per-tenant stats — each agent touches only its own
+		// TenantStats and trace row, so the accumulation order (and hence
+		// every floating-point sum) is identical to a serial run.
 		for m := range sc.Topo.PDUs {
 			reading.OtherPDUWatts[m] = sc.OtherLoad[m].At(slot)
 		}
-		for _, a := range sc.Agents {
+		par.For(workers, len(sc.Agents), func(i int) {
+			a := sc.Agents[i]
 			needed := len(a.MaxPerfRequests(slot)) > 0
-			slotRes := a.Execute(slot, grants)
-			ts := res.Tenants[a.Name()]
-			for rack, w := range slotRes.PowerByRack {
-				reading.RackWatts[rack] = w
-			}
+			slotRes := a.Execute(slot, grants) // grants is read-only here
+			perAgent[i].res = slotRes
+			ts := tsByIdx[i]
 			ts.EnergyKWh += slotRes.PowerWatts / 1000 * slotHours
 			ts.SpotKWh += slotRes.SpotGrantWatts / 1000 * slotHours
 			if slotRes.SpotGrantWatts > 0 {
@@ -362,7 +418,14 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 				}
 			}
 			if opts.Record {
-				res.TenantTraces[a.Name()] = append(res.TenantTraces[a.Name()], slotRes.PerfScore)
+				traces[i] = append(traces[i], slotRes.PerfScore)
+			}
+		})
+		// Serial merge in agent order: assemble the realized rack reading
+		// (later agents win shared racks, exactly as the serial loop did).
+		for i := range perAgent {
+			for rack, w := range perAgent[i].res.PowerByRack {
+				reading.RackWatts[rack] = w
 			}
 		}
 
@@ -380,8 +443,25 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 			res.PDUPower[m] = append(res.PDUPower[m], sc.Topo.PDUPower(reading, m))
 		}
 	}
+	if opts.Record {
+		for i, a := range sc.Agents {
+			res.TenantTraces[a.Name()] = traces[i]
+		}
+	}
 	res.SpotRevenue = op.SpotRevenue()
 	return res, nil
+}
+
+// agentSlot is one agent's per-slot scratch: the parallel phases write
+// into it, the serial merges read it back in agent order.
+type agentSlot struct {
+	// bids / lost carry the plan phase (ModeSpotDC).
+	bids []core.Bid
+	lost bool
+	// reqs carries the MaxPerf plan phase.
+	reqs []core.MaxPerfRequest
+	// res carries the execute phase.
+	res tenant.SlotResult
 }
 
 // TenantCost computes a tenant's total cost over the run in dollars:

@@ -27,6 +27,14 @@ type BundledSprint struct {
 	Load *trace.Power
 	// QMin and QMax are the shared bidding prices.
 	QMin, QMax float64
+
+	// Agent-owned scratch (see the Agent ownership contract): zeroBuf is
+	// the all-zero spot vector reused by every gain evaluation (hot inside
+	// optimalVector's grid search), spotsBuf and rackBuf back Execute's
+	// per-slot working state and returned PowerByRack map.
+	zeroBuf  []float64
+	spotsBuf []float64
+	rackBuf  map[int]float64
 }
 
 // Tier is one rack of a bundled tenant.
@@ -79,10 +87,17 @@ func (b *BundledSprint) latencyAt(load float64, spots []float64) float64 {
 	return total
 }
 
+// zero returns the reused all-zero spot vector.
+func (b *BundledSprint) zero() []float64 {
+	if len(b.zeroBuf) != len(b.Tiers) {
+		b.zeroBuf = make([]float64, len(b.Tiers))
+	}
+	return b.zeroBuf
+}
+
 // gainAt returns the $/h gain of the spot vector over no spot capacity.
 func (b *BundledSprint) gainAt(load float64, spots []float64) float64 {
-	zero := make([]float64, len(b.Tiers))
-	base := b.Cost.RatePerHour(b.latencyAt(load, zero), load)
+	base := b.Cost.RatePerHour(b.latencyAt(load, b.zero()), load)
 	with := b.Cost.RatePerHour(b.latencyAt(load, spots), load)
 	g := base - with
 	if g < 0 {
@@ -131,8 +146,7 @@ func (b *BundledSprint) needsSpot(slot int) bool {
 	if load <= 0 {
 		return false
 	}
-	zero := make([]float64, len(b.Tiers))
-	return b.latencyAt(load, zero) > b.Cost.SLOms
+	return b.latencyAt(load, b.zero()) > b.Cost.SLOms
 }
 
 // PlanBids implements Agent: it computes the optimal demand vectors at
@@ -193,11 +207,17 @@ func (b *BundledSprint) MaxPerfRequests(slot int) []core.MaxPerfRequest {
 	return reqs
 }
 
-// Execute implements Agent.
+// Execute implements Agent. The returned PowerByRack map is agent-owned
+// scratch, valid until the next Execute call.
 func (b *BundledSprint) Execute(slot int, grants map[int]float64) SlotResult {
 	load := b.Load.At(slot)
-	spots := make([]float64, len(b.Tiers))
-	byRack := make(map[int]float64, len(b.Tiers))
+	if len(b.spotsBuf) != len(b.Tiers) {
+		b.spotsBuf = make([]float64, len(b.Tiers))
+	}
+	if b.rackBuf == nil {
+		b.rackBuf = make(map[int]float64, len(b.Tiers))
+	}
+	spots, byRack := b.spotsBuf, b.rackBuf
 	totalGrant, totalDraw, totalUsed := 0.0, 0.0, 0.0
 	for i, t := range b.Tiers {
 		g := grants[t.Rack]

@@ -103,6 +103,15 @@ type SlotResult struct {
 
 // Agent is a tenant participating in the spot market. Implementations are
 // deterministic: the same slot always produces the same bids and results.
+//
+// Concurrency and ownership: one agent is never called from two goroutines
+// at once, but distinct agents may run concurrently (the simulator's
+// intra-slot parallelism), so implementations must not share mutable state
+// across agents. The slices and maps returned by PlanBids and Execute may
+// be backed by agent-owned scratch buffers: they are valid only until the
+// agent's next PlanBids/Execute call, and callers that retain them must
+// copy (the simulator and the protocol client both consume them within the
+// slot).
 type Agent interface {
 	// Name identifies the tenant (Table I aliases: S-1, O-4, ...).
 	Name() string
@@ -245,6 +254,12 @@ type Sprint struct {
 	QMin, QMax float64
 	// Policy selects the bidding strategy (default PolicyElastic).
 	Policy BidPolicy
+
+	// rackBuf backs SlotResult.PowerByRack and bidBuf the PlanBids return
+	// slice (see the Agent ownership contract): per-slot calls reuse them
+	// instead of allocating.
+	rackBuf map[int]float64
+	bidBuf  [1]core.Bid
 }
 
 var _ Agent = (*Sprint)(nil)
@@ -329,7 +344,8 @@ func (s *Sprint) TrueDemand(slot int) DemandCurve {
 	}
 }
 
-// PlanBids implements Agent.
+// PlanBids implements Agent. The returned slice is agent-owned scratch,
+// valid until the next PlanBids call.
 func (s *Sprint) PlanBids(slot int, hint MarketHint) []core.Bid {
 	need, _ := s.needsSpot(slot)
 	if !need {
@@ -339,7 +355,17 @@ func (s *Sprint) PlanBids(slot int, hint MarketHint) []core.Bid {
 	if err != nil || fn == nil {
 		return nil
 	}
-	return []core.Bid{{Rack: s.RackIndex, Tenant: s.TenantName, Fn: fn}}
+	s.bidBuf[0] = core.Bid{Rack: s.RackIndex, Tenant: s.TenantName, Fn: fn}
+	return s.bidBuf[:]
+}
+
+// byRack reuses the agent-owned single-entry PowerByRack map.
+func (s *Sprint) byRack(w float64) map[int]float64 {
+	if s.rackBuf == nil {
+		s.rackBuf = make(map[int]float64, 1)
+	}
+	s.rackBuf[s.RackIndex] = w
+	return s.rackBuf
 }
 
 // MaxPerfRequests implements Agent.
@@ -367,7 +393,7 @@ func (s *Sprint) Execute(slot int, grants map[int]float64) SlotResult {
 			SpotGrantWatts: grant,
 			LatencyMS:      s.Model.BaseMS,
 			PerfScore:      0,
-			PowerByRack:    map[int]float64{s.RackIndex: idle},
+			PowerByRack:    s.byRack(idle),
 		}
 	}
 	lat := s.Model.LatencyMS(load, draw)
@@ -381,7 +407,7 @@ func (s *Sprint) Execute(slot int, grants map[int]float64) SlotResult {
 		SLOViolated:    lat > s.Cost.SLOms,
 		PerfScore:      1000 / lat,
 		PerfCostRate:   s.Cost.RatePerHour(lat, load),
-		PowerByRack:    map[int]float64{s.RackIndex: draw},
+		PowerByRack:    s.byRack(draw),
 	}
 }
 
@@ -410,6 +436,11 @@ type Opp struct {
 	QMin, QMax float64
 	// Policy selects the bidding strategy.
 	Policy BidPolicy
+
+	// rackBuf and bidBuf are the agent-owned scratch behind the Agent
+	// ownership contract (reused across per-slot calls).
+	rackBuf map[int]float64
+	bidBuf  [1]core.Bid
 }
 
 var _ Agent = (*Opp)(nil)
@@ -474,7 +505,8 @@ func (o *Opp) TrueDemand(slot int) DemandCurve {
 	}
 }
 
-// PlanBids implements Agent.
+// PlanBids implements Agent. The returned slice is agent-owned scratch,
+// valid until the next PlanBids call.
 func (o *Opp) PlanBids(slot int, hint MarketHint) []core.Bid {
 	if !o.active(slot) || o.maxUseful() <= 0 {
 		return nil
@@ -483,7 +515,17 @@ func (o *Opp) PlanBids(slot int, hint MarketHint) []core.Bid {
 	if err != nil || fn == nil {
 		return nil
 	}
-	return []core.Bid{{Rack: o.RackIndex, Tenant: o.TenantName, Fn: fn}}
+	o.bidBuf[0] = core.Bid{Rack: o.RackIndex, Tenant: o.TenantName, Fn: fn}
+	return o.bidBuf[:]
+}
+
+// byRack reuses the agent-owned single-entry PowerByRack map.
+func (o *Opp) byRack(w float64) map[int]float64 {
+	if o.rackBuf == nil {
+		o.rackBuf = make(map[int]float64, 1)
+	}
+	o.rackBuf[o.RackIndex] = w
+	return o.rackBuf
 }
 
 // MaxPerfRequests implements Agent.
@@ -502,7 +544,7 @@ func (o *Opp) Execute(slot int, grants map[int]float64) SlotResult {
 		return SlotResult{
 			PowerWatts:     idle,
 			SpotGrantWatts: grant,
-			PowerByRack:    map[int]float64{o.RackIndex: idle},
+			PowerByRack:    o.byRack(idle),
 		}
 	}
 	budget := o.Reserved + grant
@@ -517,6 +559,6 @@ func (o *Opp) Execute(slot int, grants map[int]float64) SlotResult {
 		ThroughputUnits: tp,
 		PerfScore:       tp,
 		PerfCostRate:    -o.Cost.RatePerHour(tp),
-		PowerByRack:     map[int]float64{o.RackIndex: draw},
+		PowerByRack:     o.byRack(draw),
 	}
 }

@@ -1,0 +1,57 @@
+#!/bin/sh
+# bench.sh — run the repository benchmark suite and emit a machine-readable
+# BENCH_<n>.json artifact (benchmark name → ns/op, B/op, allocs/op) so the
+# performance trajectory is tracked across PRs. BENCH_0.json is the PR 3
+# pre-optimization baseline; BENCH_1.json the post-optimization state; later
+# PRs append BENCH_2.json, BENCH_3.json, ...
+#
+# Usage: scripts/bench.sh [index]
+#   index        numeric suffix for BENCH_<index>.json (default: next free)
+#
+# Environment:
+#   BENCH_FILTER regex of benchmarks to run (default: .)
+#   BENCH_TIME   value for -benchtime (default: 1x)
+set -eu
+cd "$(dirname "$0")/.."
+
+idx="${1:-}"
+if [ -z "$idx" ]; then
+	idx=0
+	while [ -e "BENCH_${idx}.json" ]; do idx=$((idx + 1)); done
+fi
+out="BENCH_${idx}.json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "${BENCH_FILTER:-.}" -benchtime "${BENCH_TIME:-1x}" -benchmem ./... | tee "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^goos:/ { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1; ns = ""; bytes = ""; allocs = ""
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		if ($(i + 1) == "B/op") bytes = $i
+		if ($(i + 1) == "allocs/op") allocs = $i
+	}
+	if (ns == "") next
+	n++
+	line = sprintf("    \"%s\": {\"ns_per_op\": %s", name, ns)
+	if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
+	if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+	lines[n] = line "}"
+}
+END {
+	printf "{\n"
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"goos\": \"%s\",\n", goos
+	printf "  \"goarch\": \"%s\",\n", goarch
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"benchmarks\": {\n"
+	for (i = 1; i <= n; i++) printf "%s%s\n", lines[i], (i < n ? "," : "")
+	printf "  }\n}\n"
+}' "$tmp" >"$out"
+
+echo "bench: wrote $out"

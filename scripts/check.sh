@@ -7,10 +7,18 @@
 #      layer (sessions, reconnect, fault injection) and the networked
 #      simulator harness — so the Section III-C robustness machinery is
 #      exercised under race checking explicitly on every run
-#   4. go test -race ./...   everything else under the race detector, so
+#   4. targeted -race on the parallel-engine determinism tests — the
+#      serial-vs-parallel bit-reproducibility contracts of the simulator
+#      (Scenario.Parallel) and the experiment fan-out (Options.Workers);
+#      the tests force GOMAXPROCS=4 internally so the parallel phases
+#      really interleave even on a single-core runner
+#   5. go test -race ./...   everything else under the race detector, so
 #                            the parallel candidate evaluation inside the
 #                            exact clearing engine
 #                            (internal/core/clear_exact.go) is covered too
+#   6. a one-iteration smoke of the Fig. 7(b) clearing benchmark, which
+#      doubles as a regression tripwire for the allocation-free hot loop
+#      (the alloc budgets themselves are enforced by TestClearAllocBudget)
 #
 # Tier-1 (ROADMAP.md) remains `go build ./... && go test ./...`; this script
 # is a superset of it.
@@ -23,6 +31,11 @@ echo '== go vet ./...'
 go vet ./...
 echo '== go test -race ./internal/proto/... ./internal/sim/...'
 go test -race -count=1 ./internal/proto/... ./internal/sim/...
+echo '== go test -race (parallel determinism contracts)'
+go test -race -count=1 -run 'TestParallelMatchesSerial' ./internal/sim/
+go test -race -count=1 -run 'TestFanOutDeterminism' ./internal/experiments/
 echo '== go test -race ./...'
 go test -race ./...
+echo '== bench smoke: Fig. 7(b) clearing'
+go test -run '^$' -bench 'BenchmarkFig7bClearingTime' -benchtime 1x -benchmem .
 echo 'check: OK'

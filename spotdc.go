@@ -417,3 +417,10 @@ func Experiments() []string { return experiments.IDs() }
 func RunExperiment(id string, opt ExperimentOptions) (*ExperimentReport, error) {
 	return experiments.Run(id, opt)
 }
+
+// RunAllExperiments regenerates every table and figure, fanning the
+// experiments out across opt.Workers goroutines (0 = GOMAXPROCS). Reports
+// come back in sorted-ID order and are bit-identical at any worker count.
+func RunAllExperiments(opt ExperimentOptions) ([]*ExperimentReport, error) {
+	return experiments.RunAll(opt)
+}
