@@ -7,13 +7,16 @@
 #   make smoke-faults   seeded fault-schedule smoke run: 220 networked slots
 #                       with bid loss, broadcast loss, severed connections
 #                       and a forced operator failure, race detector on
+#   make smoke-metrics  observability smoke run: a short networked market
+#                       scraped over live HTTP /metrics mid-run, race
+#                       detector on
 #   make bench-clearing scan vs exact Fig. 7(b) clearing-time comparison
 #   make bench          the full benchmark suite, recorded as the next free
 #                       BENCH_<n>.json artifact (scripts/bench.sh)
 
 GO ?= go
 
-.PHONY: check test smoke-faults bench bench-clearing
+.PHONY: check test smoke-faults smoke-metrics bench bench-clearing
 
 check:
 	./scripts/check.sh
@@ -24,6 +27,9 @@ test:
 
 smoke-faults:
 	$(GO) test -race -count=1 -v -run 'TestNetRunSeededFaultSchedule' ./internal/sim/
+
+smoke-metrics:
+	$(GO) test -race -count=1 -v -run 'TestSmokeMetricsScrape' .
 
 bench-clearing:
 	./scripts/bench-clearing.sh

@@ -18,6 +18,11 @@
 // Profiling: -cpuprofile/-memprofile/-trace write pprof / execution-trace
 // files covering the experiment runs; -pprof-addr serves net/http/pprof for
 // live inspection (go tool pprof http://host:port/debug/pprof/profile).
+//
+// Observability: -metrics-addr serves Prometheus text metrics on
+// GET /metrics (plus /healthz) aggregating every simulation the experiments
+// run — market clearings, operator slot outcomes, simulated slots, and
+// worker-pool occupancy. Instrumentation never changes report contents.
 package main
 
 import (
@@ -32,6 +37,8 @@ import (
 	"runtime/trace"
 
 	"spotdc/internal/experiments"
+	"spotdc/internal/metrics"
+	"spotdc/internal/par"
 )
 
 func main() {
@@ -53,11 +60,23 @@ func run() error {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (e.g. localhost:9090)")
 	flag.Parse()
 
 	opt := experiments.Options{
 		Seed: *seed, LongSlots: *longSlots, ScaleSlots: *scaleSlots,
 		Workers: *workers, Parallel: *parallel,
+	}
+	if *metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		par.EnableMetrics(reg)
+		opt.Registry = reg
+		bound, shutdown, err := metrics.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "spotdc-experiments: serving metrics on http://%s/metrics\n", bound)
 	}
 	ids := flag.Args()
 	if !*all && len(ids) == 0 {

@@ -9,13 +9,21 @@
 //
 // Usage:
 //
-//	spotdc-operator [-listen 127.0.0.1:7070] [-slot-seconds 10] [-slots N]
+//	spotdc-operator [-listen 127.0.0.1:7070] [-slot-seconds 10] [-slots N] \
+//	    [-metrics-addr host:port] [-events FILE] [-v]
+//
+// Observability: -metrics-addr serves Prometheus text metrics on
+// GET /metrics (plus /healthz) covering market clearings, operator slot
+// outcomes, protocol sessions and bid handling; -events appends one JSON
+// line per slot (price, volume, revenue, degradation) to FILE; -v enables
+// verbose per-slot and protocol diagnostics, which are silent by default.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"spotdc"
@@ -32,11 +40,47 @@ func main() {
 	bidWindow := flag.Int("bid-window", 0, "accept bids at most this many slots ahead (0 = library default)")
 	maxFailures := flag.Int("max-consecutive-failures", 0, "trip the breaker to no-spot after this many consecutive slot failures (0 = never)")
 	breakerCooldown := flag.Int("breaker-cooldown-slots", 0, "slots to hold the breaker open before a half-open probe (0 = stay open)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (e.g. localhost:9090)")
+	eventsFile := flag.String("events", "", "append one JSON slot event per market slot to this file")
+	verbose := flag.Bool("v", false, "verbose: per-slot results and protocol diagnostics (default: quiet)")
 	flag.Parse()
 
 	algo, err := spotdc.ParseClearingAlgorithm(*algorithm)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Observability is opt-in: a nil registry/journal disables every hook.
+	var (
+		reg      *spotdc.MetricsRegistry
+		journal  *spotdc.SlotJournal
+		mktMet   *spotdc.MarketMetrics
+		opMet    *spotdc.OperatorMetrics
+		protoMet *spotdc.MarketProtoMetrics
+	)
+	if *metricsAddr != "" {
+		reg = spotdc.NewMetricsRegistry()
+		mktMet = spotdc.NewMarketMetrics(reg)
+		opMet = spotdc.NewOperatorMetrics(reg)
+		protoMet = spotdc.NewMarketProtoMetrics(reg)
+		bound, shutdown, err := spotdc.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown()
+		log.Printf("spotdc-operator: serving metrics on http://%s/metrics", bound)
+	}
+	if *eventsFile != "" {
+		f, err := os.Create(*eventsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		journal = spotdc.NewSlotJournal(f)
+	}
+	logf := func(string, ...interface{}) {}
+	if *verbose {
+		logf = log.Printf
 	}
 
 	topo, err := spotdc.NewTopology(1370,
@@ -59,7 +103,8 @@ func main() {
 	}
 	op, err := spotdc.NewOperator(spotdc.OperatorConfig{
 		Topology:      topo,
-		MarketOptions: spotdc.MarketOptions{PriceStep: 0.001, Algorithm: algo},
+		MarketOptions: spotdc.MarketOptions{PriceStep: 0.001, Algorithm: algo, Metrics: mktMet},
+		Metrics:       opMet,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -69,6 +114,8 @@ func main() {
 	}, spotdc.MarketServerOptions{
 		SessionTTL: *sessionTTL,
 		BidWindow:  *bidWindow,
+		Metrics:    protoMet,
+		Logf:       logf,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -119,8 +166,10 @@ func main() {
 			return reading
 		},
 		RackID: func(i int) string { return topo.Racks[i].ID },
+		// Per-slot narration is verbose-only; the journal and /metrics are
+		// the always-available records.
 		OnSlot: func(slot int, out spotdc.SlotOutcome, bids int) {
-			log.Printf("slot %d: %d bids from %v, price $%.3f/kWh, sold %.1f W, revenue $%.6f (total $%.6f)",
+			logf("slot %d: %d bids from %v, price $%.3f/kWh, sold %.1f W, revenue $%.6f (total $%.6f)",
 				slot, bids, srv.Sessions(), out.Result.Price, out.Result.TotalWatts,
 				out.RevenueThisSlot, op.SpotRevenue())
 		},
@@ -131,6 +180,7 @@ func main() {
 		},
 		MaxConsecutiveFailures: *maxFailures,
 		BreakerCooldownSlots:   *breakerCooldown,
+		Journal:                journal,
 	}
 	n := *slots
 	if n == 0 {
@@ -143,5 +193,8 @@ func main() {
 	if degraded := loop.SlotErrors(); degraded > 0 {
 		log.Printf("spotdc-operator: %d/%d slots cleared, %d degraded (breaker open: %v)",
 			cleared, n, degraded, loop.BreakerTripped())
+	}
+	if err := journal.Err(); err != nil {
+		log.Printf("spotdc-operator: slot journal degraded: %v", err)
 	}
 }

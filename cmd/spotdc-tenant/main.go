@@ -7,7 +7,10 @@
 //
 //	spotdc-tenant -name Count-1 -rack O-1 [-connect 127.0.0.1:7070]
 //	              [-dmax 60] [-dmin 6] [-qmin 0.02] [-qmax 0.16]
-//	              [-slot-seconds 10] [-slots N] [-reconnect]
+//	              [-slot-seconds 10] [-slots N] [-reconnect] [-v]
+//
+// Output is quiet by default — only connection establishment and failures
+// are logged; -v adds per-slot price/grant lines and reconnect diagnostics.
 package main
 
 import (
@@ -32,14 +35,20 @@ func main() {
 	reconnect := flag.Bool("reconnect", true, "auto-reconnect with backoff when the session drops")
 	backoff := flag.Duration("backoff", 200*time.Millisecond, "base reconnect backoff (doubles per attempt, with jitter)")
 	maxAttempts := flag.Int("max-attempts", 8, "reconnect attempts before giving up (-1 = unlimited)")
+	verbose := flag.Bool("v", false, "verbose: per-slot prices/grants and reconnect diagnostics (default: quiet)")
 	flag.Parse()
 
+	logf := func(string, ...interface{}) {}
+	if *verbose {
+		logf = log.Printf
+	}
 	client, err := spotdc.DialMarketOpts(*connect, *name, []string{*rack}, spotdc.MarketClientOptions{
 		Reconnect:   *reconnect,
 		BackoffBase: *backoff,
 		MaxAttempts: *maxAttempts,
+		Logf:        logf,
 		OnReconnect: func(attempt int, err error) {
-			log.Printf("spotdc-tenant: reconnect attempt %d: %v", attempt, err)
+			logf("spotdc-tenant: reconnect attempt %d: %v", attempt, err)
 		},
 	})
 	if err != nil {
@@ -72,7 +81,7 @@ func main() {
 		for _, g := range grants {
 			total += g.Watts
 		}
-		log.Printf("slot %d: price $%.3f/kWh, granted %.1f W of spot capacity", slot, price, total)
+		logf("slot %d: price $%.3f/kWh, granted %.1f W of spot capacity", slot, price, total)
 	}
 	if n := client.Reconnects(); n > 0 {
 		log.Printf("spotdc-tenant %s: session survived %d reconnects", *name, n)

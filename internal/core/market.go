@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 )
 
 // ErrConstraints reports inconsistent market constraints.
@@ -121,6 +122,12 @@ type Options struct {
 	// prices (each worker gets its own scratch buffers). 0 uses
 	// runtime.GOMAXPROCS; 1 forces serial evaluation.
 	Workers int
+	// Metrics, if non-nil, receives per-clearing instrumentation (duration,
+	// candidate evaluations, engine, price/revenue/watts). Observation is a
+	// handful of atomic updates on pre-registered handles, preserving the
+	// clearing loop's allocation budgets; nil disables it entirely at the
+	// cost of one branch per Clear.
+	Metrics *MarketMetrics
 }
 
 const defaultPriceStep = 0.001
@@ -383,28 +390,38 @@ func (m *Market) feasibleAt(bids []Bid, price float64) bool {
 // only until the next Clear/ClearWithExtras call; copy it to retain grants
 // across clearings.
 func (m *Market) Clear(bids []Bid) (Result, error) {
+	met := m.opts.Metrics
+	var start time.Time
+	if met != nil {
+		start = time.Now()
+	}
 	for _, b := range bids {
 		if b.Rack < 0 || b.Rack >= len(m.cons.RackHeadroom) {
+			if met != nil {
+				met.clearErrors.Inc()
+			}
 			return Result{}, fmt.Errorf("%w: bid references rack %d of %d", ErrConstraints, b.Rack, len(m.cons.RackHeadroom))
 		}
 		if b.Fn == nil {
+			if met != nil {
+				met.clearErrors.Inc()
+			}
 			return Result{}, fmt.Errorf("%w: bid for rack %d has nil demand function", ErrBid, b.Rack)
 		}
 	}
-	switch m.opts.Algorithm {
-	case AlgorithmScan:
-		return m.clearScan(bids), nil
-	case AlgorithmExact:
-		if breakpointable(bids) {
-			return m.clearExact(bids), nil
-		}
-		return m.clearScan(bids), nil
-	default: // AlgorithmAuto
-		if breakpointable(bids) {
-			return m.clearExact(bids), nil
-		}
-		return m.clearScan(bids), nil
+	var res Result
+	switch {
+	case m.opts.Algorithm == AlgorithmScan:
+		res = m.clearScan(bids)
+	case breakpointable(bids): // AlgorithmExact or AlgorithmAuto
+		res = m.clearExact(bids)
+	default:
+		res = m.clearScan(bids)
 	}
+	if met != nil {
+		met.observeClear(res, time.Since(start))
+	}
+	return res, nil
 }
 
 // breakpointable reports whether every bid's demand function exposes its

@@ -122,7 +122,7 @@ func ablRation(opt Options) (*Report, error) {
 			return e
 		}
 		sc.MarketOptions.Ration = k%2 == 1
-		res, e := sim.Run(sc, sim.RunOptions{Mode: sim.ModeSpotDC})
+		res, e := sim.Run(sc, sim.RunOptions{Mode: sim.ModeSpotDC, Registry: opt.Registry})
 		if e != nil {
 			return e
 		}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"spotdc/internal/metrics"
 	"spotdc/internal/par"
 )
 
@@ -125,6 +126,12 @@ type Options struct {
 	// parallelism (sim.Scenario.Parallel) for every scenario an experiment
 	// builds. Parallel runs are bit-identical to serial ones.
 	Parallel bool
+	// Registry, if non-nil, instruments every simulation an experiment
+	// runs on one shared metrics registry (registration is idempotent, so
+	// the concurrent suite fan-out aggregates onto the same families).
+	// Wired by cmd/spotdc-experiments -metrics-addr; instrumentation never
+	// changes report contents.
+	Registry *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"net"
+	"net/http"
+)
+
+// Handler returns an http.Handler that serves the registry in Prometheus
+// text exposition format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Mux returns a ServeMux with the standard observability endpoints:
+// /metrics (Prometheus text exposition) and /healthz (liveness, "ok").
+func Mux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// Serve starts the scrape surface on addr (use host:0 for an ephemeral
+// port) and returns the bound listener address plus a shutdown func. The
+// server runs on its own goroutine; Serve returns immediately.
+func Serve(addr string, r *Registry) (boundAddr string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Mux(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

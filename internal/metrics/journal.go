@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// SlotEvent is one structured record of the per-slot event journal: the
+// operator's view of a market slot, serialized as one JSON line. The
+// journal complements the scrape surface — /metrics answers "what is the
+// market doing now / in aggregate", the journal answers "what happened in
+// slot 12,417" after the fact (jq-able, greppable, diffable).
+type SlotEvent struct {
+	// Slot is the market slot index.
+	Slot int `json:"slot"`
+	// UnixMicros is the wall-clock append time in microseconds since the
+	// epoch (0 when the caller does not stamp it).
+	UnixMicros int64 `json:"ts_us,omitempty"`
+	// Price is the uniform clearing price in $/kW·h (0 on degraded slots).
+	Price float64 `json:"price"`
+	// SoldWatts is the total spot capacity sold.
+	SoldWatts float64 `json:"sold_watts"`
+	// Revenue is the $ billed for the slot.
+	Revenue float64 `json:"revenue"`
+	// Grants counts allocations with positive watts.
+	Grants int `json:"grants"`
+	// Bids counts the bids collected for the slot.
+	Bids int `json:"bids"`
+	// Degraded marks a slot that fell back to the zero-price no-grant
+	// default; Err carries the cause.
+	Degraded bool   `json:"degraded,omitempty"`
+	Err      string `json:"err,omitempty"`
+	// ClearMicros is the wall time spent inside market clearing, in µs.
+	ClearMicros int64 `json:"clear_us"`
+	// FaultDrops / FaultDelays / FaultSevers are the cumulative injected
+	// fault counts at journal time (only populated by harnesses that inject
+	// faults; a pure function of the fault seed).
+	FaultDrops  int64 `json:"fault_drops,omitempty"`
+	FaultDelays int64 `json:"fault_delays,omitempty"`
+	FaultSevers int64 `json:"fault_severs,omitempty"`
+}
+
+// Journal appends SlotEvents as JSONL to an io.Writer sink. It is safe for
+// concurrent use; each Append writes exactly one line. A nil *Journal is a
+// valid no-op sink, so callers wire it unconditionally.
+type Journal struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	n   int
+	err error
+}
+
+// NewJournal builds a journal over w (typically an *os.File opened by the
+// -events flag, or a bytes.Buffer in tests).
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{enc: json.NewEncoder(w)}
+}
+
+// Append writes one event as a JSON line. The first write error is sticky
+// and returned by every subsequent Append (and by Err), so a full disk
+// degrades the journal, never the market loop.
+func (j *Journal) Append(ev SlotEvent) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.enc.Encode(ev); err != nil {
+		j.err = err
+		return err
+	}
+	j.n++
+	return nil
+}
+
+// Events returns how many events were appended successfully.
+func (j *Journal) Events() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Err returns the sticky write error, if any.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestJournalAppendsJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	events := []SlotEvent{
+		{Slot: 0, Price: 0.05, SoldWatts: 120, Revenue: 0.0001, Grants: 3, Bids: 5, ClearMicros: 42},
+		{Slot: 1, Degraded: true, Err: "poisoned reading", Bids: 5},
+		{Slot: 2, Price: 0.06, SoldWatts: 80, Revenue: 0.00008, Grants: 2, Bids: 4, ClearMicros: 17,
+			FaultDrops: 3, FaultDelays: 1, FaultSevers: 1},
+	}
+	for _, ev := range events {
+		if err := j.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Events() != len(events) {
+		t.Errorf("Events() = %d, want %d", j.Events(), len(events))
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(events) {
+		t.Fatalf("wrote %d lines, want %d", len(lines), len(events))
+	}
+	for i, line := range lines {
+		var got SlotEvent
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		if got != events[i] {
+			t.Errorf("line %d round-trip = %+v, want %+v", i, got, events[i])
+		}
+	}
+	// The omitempty contract keeps clean-slot lines compact.
+	if strings.Contains(lines[0], "degraded") || strings.Contains(lines[0], "fault_drops") {
+		t.Errorf("clean slot carries degraded/fault fields: %s", lines[0])
+	}
+}
+
+type failWriter struct{ err error }
+
+func (w failWriter) Write([]byte) (int, error) { return 0, w.err }
+
+func TestJournalStickyError(t *testing.T) {
+	boom := errors.New("disk full")
+	j := NewJournal(failWriter{boom})
+	if err := j.Append(SlotEvent{Slot: 0}); !errors.Is(err, boom) {
+		t.Fatalf("Append = %v, want %v", err, boom)
+	}
+	// The error is sticky and events never count.
+	if err := j.Append(SlotEvent{Slot: 1}); !errors.Is(err, boom) {
+		t.Fatalf("second Append = %v, want sticky %v", err, boom)
+	}
+	if j.Events() != 0 {
+		t.Errorf("Events() = %d after write failures", j.Events())
+	}
+	if !errors.Is(j.Err(), boom) {
+		t.Errorf("Err() = %v, want %v", j.Err(), boom)
+	}
+}

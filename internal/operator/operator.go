@@ -124,9 +124,13 @@ type Operator struct {
 
 	// Per-slot scratch, reused across RunSlot/MaxPerfSlot calls so the
 	// steady-state slot loop allocates nothing here: rackBuf collects the
-	// bidding racks, spotUsers the prediction's spot-user set.
-	rackBuf   []int
-	spotUsers map[int]bool
+	// bidding racks, spotUsers the prediction's spot-user set, pduSoldBuf
+	// the per-PDU sold-watts accumulation for instrumentation.
+	rackBuf    []int
+	spotUsers  map[int]bool
+	pduSoldBuf []float64
+
+	met *Metrics
 }
 
 // Config assembles an Operator.
@@ -140,6 +144,12 @@ type Config struct {
 	// Predict tunes spot-capacity prediction (e.g. the Fig. 17
 	// under-prediction factor).
 	Predict power.PredictOptions
+	// Metrics, if non-nil, receives per-slot instrumentation (slot
+	// outcomes, predicted vs. sold spot per level, margins, revenue). The
+	// operator binds its per-PDU gauge children at construction time, so
+	// the slot path stays allocation-free. The market core's own
+	// instrumentation is configured separately via MarketOptions.Metrics.
+	Metrics *Metrics
 }
 
 // New builds an Operator, deriving the market's rack constraints from the
@@ -169,14 +179,24 @@ func New(cfg Config) (*Operator, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.bind(len(topo.PDUs))
+	}
 	return &Operator{
-		topo:     topo,
-		market:   mkt,
-		pricing:  pr,
-		predict:  cfg.Predict,
-		payments: make(map[string]float64),
+		topo:       topo,
+		market:     mkt,
+		pricing:    pr,
+		predict:    cfg.Predict,
+		payments:   make(map[string]float64),
+		pduSoldBuf: make([]float64, len(topo.PDUs)),
+		met:        cfg.Metrics,
 	}, nil
 }
+
+// Metrics returns the operator's instrumentation handle set (nil when the
+// operator runs uninstrumented). The market-loop layer uses it to report
+// slot degradation and circuit-breaker transitions.
+func (op *Operator) Metrics() *Metrics { return op.met }
 
 // Pricing returns the operator's pricing parameters.
 func (op *Operator) Pricing() Pricing { return op.pricing }
@@ -254,6 +274,10 @@ func (op *Operator) VerifyFeasible(allocs []core.Allocation) error {
 // the reading, clear the market over the bids, verify feasibility, and
 // bill tenants for slotHours of their granted capacity.
 func (op *Operator) RunSlot(bids []core.Bid, reading power.Reading, slotHours float64) (SlotOutcome, error) {
+	var slotStart time.Time
+	if op.met != nil {
+		slotStart = time.Now()
+	}
 	if slotHours <= 0 {
 		return SlotOutcome{}, fmt.Errorf("operator: slotHours %v must be positive", slotHours)
 	}
@@ -293,6 +317,16 @@ func (op *Operator) RunSlot(bids []core.Bid, reading power.Reading, slotHours fl
 			op.payments[a.Tenant] += res.Price * a.Watts / 1000 * slotHours
 		}
 	}
+	if op.met != nil {
+		for i := range op.pduSoldBuf {
+			op.pduSoldBuf[i] = 0
+		}
+		for _, a := range res.Allocations {
+			op.pduSoldBuf[op.topo.Racks[a.Rack].PDU] += a.Watts
+		}
+		op.met.observeSlot(spot, op.pduSoldBuf, res.TotalWatts, slotRevenue,
+			op.predict.UnderPredictionFactor, time.Since(slotStart))
+	}
 	return SlotOutcome{Spot: spot, Result: res, RevenueThisSlot: slotRevenue, ClearDuration: clearDur}, nil
 }
 
@@ -327,6 +361,9 @@ func (op *Operator) ObserveEmergencies(reading power.Reading, breakerTolerance f
 	em := op.topo.CheckEmergencies(reading, breakerTolerance)
 	if len(em) > 0 {
 		op.emergencySlots++
+		if op.met != nil {
+			op.met.emergencies.Inc()
+		}
 	}
 	return em
 }

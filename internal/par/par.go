@@ -16,7 +16,38 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"spotdc/internal/metrics"
 )
+
+// poolMetrics is the package's optional instrumentation, installed once via
+// EnableMetrics and read with one atomic pointer load per parallel For. It
+// deliberately observes only pool-level events (dispatches, items, worker
+// occupancy) — never per-item work — so instrumentation cannot perturb the
+// engine's bit-identical determinism contract, and inline (workers ≤ 1)
+// paths stay untouched.
+type poolMetrics struct {
+	dispatches *metrics.Counter
+	items      *metrics.Counter
+	active     *metrics.Gauge
+}
+
+var pool atomic.Pointer[poolMetrics]
+
+// EnableMetrics registers the worker-pool families on r and installs them
+// process-wide (the pool is shared package state, so its instrumentation is
+// too). Subsequent parallel For calls count dispatches and items and track
+// live worker occupancy on spotdc_par_active_workers.
+func EnableMetrics(r *metrics.Registry) {
+	pool.Store(&poolMetrics{
+		dispatches: r.Counter("spotdc_par_dispatches_total",
+			"Parallel For dispatches (inline runs with one worker are not counted)."),
+		items: r.Counter("spotdc_par_items_total",
+			"Work items executed by parallel For dispatches."),
+		active: r.Gauge("spotdc_par_active_workers",
+			"Currently live worker goroutines across all parallel For dispatches."),
+	})
+}
 
 // Workers resolves a worker-count knob: n <= 0 means runtime.GOMAXPROCS(0),
 // anything else is returned unchanged.
@@ -45,6 +76,12 @@ func For(workers, n int, fn func(i int)) {
 		}
 		return
 	}
+	pm := pool.Load()
+	if pm != nil {
+		pm.dispatches.Inc()
+		pm.items.Add(uint64(n))
+		pm.active.Add(float64(workers))
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -61,6 +98,9 @@ func For(workers, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	if pm != nil {
+		pm.active.Add(-float64(workers))
+	}
 }
 
 // ForErr is For with error collection: it runs every call to completion

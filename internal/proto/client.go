@@ -44,6 +44,13 @@ type ClientOptions struct {
 	// Dialer replaces the TCP dialer — the fault-injection hook (see
 	// FaultInjector.Dial). Default net.DialTimeout over HandshakeTimeout.
 	Dialer func(addr string) (net.Conn, error)
+	// Metrics, if non-nil, counts restored sessions on the shared protocol
+	// handle set (spotdc_proto_client_reconnects_total).
+	Metrics *Metrics
+	// Logf, if non-nil, narrates redial attempts. Default silent:
+	// reconnects are expected operation under churn and are surfaced via
+	// Metrics and OnReconnect.
+	Logf func(format string, args ...interface{})
 }
 
 func (o *ClientOptions) setDefaults() {
@@ -164,8 +171,16 @@ func (c *Client) reconnect(cause error, deadlineAt time.Time) error {
 		if c.opts.OnReconnect != nil {
 			c.opts.OnReconnect(attempt, err)
 		}
+		if c.opts.Logf != nil {
+			if err != nil {
+				c.opts.Logf("proto: %s redial attempt %d failed: %v", c.tenant, attempt, err)
+			} else {
+				c.opts.Logf("proto: %s session restored on attempt %d", c.tenant, attempt)
+			}
+		}
 		if err == nil {
 			c.reconnects++
+			c.opts.Metrics.clientReconnected()
 			return nil
 		}
 		last = err

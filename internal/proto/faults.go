@@ -74,6 +74,20 @@ type FaultInjector struct {
 	drops  atomic.Int64
 	delays atomic.Int64
 	severs atomic.Int64
+
+	// met mirrors every injected fault onto the run's shared protocol
+	// metrics (set once at wiring time, before any connection is wrapped).
+	met *Metrics
+}
+
+// SetMetrics mirrors the injector's fault counts onto the shared protocol
+// handle set (spotdc_proto_faults_injected_total). Call it before wrapping
+// connections; a nil m is a no-op.
+func (fi *FaultInjector) SetMetrics(m *Metrics) {
+	if fi == nil {
+		return
+	}
+	fi.met = m
 }
 
 // NewFaultInjector builds an injector for the plan.
@@ -152,13 +166,22 @@ func (fc *FaultyConn) Write(p []byte) (int, error) {
 	switch {
 	case sever:
 		fc.inj.severs.Add(1)
+		if m := fc.inj.met; m != nil {
+			m.faultSevers.Inc()
+		}
 		fc.Sever()
 		return 0, fmt.Errorf("%w: injected sever", net.ErrClosed)
 	case drop:
 		fc.inj.drops.Add(1)
+		if m := fc.inj.met; m != nil {
+			m.faultDrops.Inc()
+		}
 		return len(p), nil // pretend success; the message is gone
 	case delay > 0:
 		fc.inj.delays.Add(1)
+		if m := fc.inj.met; m != nil {
+			m.faultDelays.Inc()
+		}
 		time.Sleep(delay)
 	}
 	return fc.Conn.Write(p)

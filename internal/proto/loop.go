@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"spotdc/internal/metrics"
 	"spotdc/internal/operator"
 	"spotdc/internal/power"
 )
@@ -94,6 +95,15 @@ type MarketLoop struct {
 	// success closes the breaker. 0 keeps the breaker open for the rest of
 	// the run once tripped.
 	BreakerCooldownSlots int
+	// Journal, if non-nil, receives one structured SlotEvent per slot —
+	// cleared or degraded — as a JSON line (the operator's after-the-fact
+	// record; /metrics is the live aggregate view). A nil Journal is free.
+	Journal *metrics.Journal
+	// FaultCounts, if non-nil, supplies the cumulative injected-fault
+	// counts stamped onto each journal event (harnesses wire it to their
+	// FaultInjector.Stats; the hook indirection keeps the metrics package
+	// free of protocol types).
+	FaultCounts func() (drops, delays, severs int64)
 
 	// Internal degradation state; read them only after RunSlots returns
 	// (or from OnSlot/OnSlotError callbacks, which run on the loop
@@ -136,12 +146,33 @@ func (l *MarketLoop) validate() error {
 // explicit zero-price, no-grant broadcast (so tenants learn "no spot
 // capacity" immediately instead of waiting out their price timeout) and
 // the failure is recorded.
-func (l *MarketLoop) degrade(slot int, err error) {
+func (l *MarketLoop) degrade(slot, bids int, err error) {
 	l.slotErrors++
 	l.Server.Broadcast(slot, 0, nil, l.RackID)
+	om := l.Operator.Metrics()
+	if errors.Is(err, ErrBreakerOpen) {
+		om.ObserveBreakerOpenSlot()
+	} else {
+		om.ObserveDegradedSlot()
+	}
+	l.appendJournal(metrics.SlotEvent{Slot: slot, Bids: bids, Degraded: true, Err: err.Error()})
 	if l.OnSlotError != nil {
 		l.OnSlotError(slot, err)
 	}
+}
+
+// appendJournal stamps and writes one slot event; a nil Journal is free.
+// Journal write errors are sticky inside the Journal and must never stop
+// the market, so the append result is deliberately dropped here.
+func (l *MarketLoop) appendJournal(ev metrics.SlotEvent) {
+	if l.Journal == nil {
+		return
+	}
+	ev.UnixMicros = time.Now().UnixMicro()
+	if l.FaultCounts != nil {
+		ev.FaultDrops, ev.FaultDelays, ev.FaultSevers = l.FaultCounts()
+	}
+	_ = l.Journal.Append(ev)
 }
 
 // RunSlots executes the loop for the given slots, sleeping until each
@@ -171,7 +202,7 @@ func (l *MarketLoop) RunSlots(fromSlot, slots int) (int, error) {
 				if l.cooldown > 0 {
 					l.cooldown--
 				}
-				l.degrade(slot, ErrBreakerOpen)
+				l.degrade(slot, len(bids), ErrBreakerOpen)
 				continue
 			}
 			// Half-open: fall through and let this slot probe the market.
@@ -182,13 +213,34 @@ func (l *MarketLoop) RunSlots(fromSlot, slots int) (int, error) {
 			if l.MaxConsecutiveFailures > 0 && l.consecFails >= l.MaxConsecutiveFailures {
 				l.tripped = true
 				l.cooldown = l.BreakerCooldownSlots
+				l.Operator.Metrics().SetBreakerOpen(true)
 			}
-			l.degrade(slot, fmt.Errorf("proto: slot %d: %w", slot, err))
+			l.degrade(slot, len(bids), fmt.Errorf("proto: slot %d: %w", slot, err))
 			continue
 		}
 		l.consecFails = 0
+		if l.tripped {
+			l.Operator.Metrics().SetBreakerOpen(false)
+		}
 		l.tripped = false
 		l.Server.Broadcast(slot, out.Result.Price, out.Result.Allocations, l.RackID)
+		if l.Journal != nil {
+			grants := 0
+			for _, a := range out.Result.Allocations {
+				if a.Watts > 0 {
+					grants++
+				}
+			}
+			l.appendJournal(metrics.SlotEvent{
+				Slot:        slot,
+				Price:       out.Result.Price,
+				SoldWatts:   out.Result.TotalWatts,
+				Revenue:     out.RevenueThisSlot,
+				Grants:      grants,
+				Bids:        len(bids),
+				ClearMicros: out.ClearDuration.Microseconds(),
+			})
+		}
 		if l.OnSlot != nil {
 			l.OnSlot(slot, out, len(bids))
 		}

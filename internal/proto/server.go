@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"sync"
 	"time"
@@ -35,6 +34,15 @@ type ServerOptions struct {
 	// WrapConn, if non-nil, wraps every accepted connection — the
 	// fault-injection hook (see FaultInjector.Wrap).
 	WrapConn func(net.Conn) net.Conn
+	// Metrics, if non-nil, receives protocol instrumentation (sessions,
+	// bid acceptance/rejection, broadcast outcomes). Typically shared with
+	// the run's clients and fault injectors.
+	Metrics *Metrics
+	// Logf, if non-nil, receives the server's diagnostics. The default is
+	// silent: protocol noise (reaped sessions, broadcast failures) is
+	// expected operation under churn, so it is surfaced via Metrics and
+	// only narrated when a caller opts in (e.g. cmd/spotdc-operator -v).
+	Logf func(format string, args ...interface{})
 }
 
 func (o *ServerOptions) setDefaults() {
@@ -61,6 +69,7 @@ type Server struct {
 	resolve RackResolver
 	opts    ServerOptions
 	logf    func(format string, args ...interface{})
+	met     *Metrics
 
 	mu       sync.Mutex
 	closed   bool
@@ -104,11 +113,16 @@ func NewServerOpts(addr string, resolve RackResolver, opts ServerOptions) (*Serv
 	if err != nil {
 		return nil, err
 	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {} // quiet by default; see ServerOptions.Logf
+	}
 	s := &Server{
 		ln:       ln,
 		resolve:  resolve,
 		opts:     opts,
-		logf:     log.Printf,
+		logf:     logf,
+		met:      opts.Metrics,
 		sessions: make(map[string]*session),
 		bids:     make(map[int]map[string][]core.Bid),
 		stop:     make(chan struct{}),
@@ -171,9 +185,11 @@ func (s *Server) reapExpired(now time.Time) {
 		if now.Sub(sess.lastSeen) > s.opts.SessionTTL {
 			delete(s.sessions, name)
 			s.reaped++
+			s.met.sessionReaped()
 			expired = append(expired, sess)
 		}
 	}
+	s.met.setSessions(len(s.sessions))
 	s.mu.Unlock()
 	for _, sess := range expired {
 		s.logf("proto: session %s expired (idle > %v), reaped", sess.tenant, s.opts.SessionTTL)
@@ -223,10 +239,13 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		delete(s.sessions, hello.Tenant)
 		s.reaped++
+		s.met.sessionReaped()
 		evict = old
 	}
 	sess.lastSeen = time.Now()
 	s.sessions[hello.Tenant] = sess
+	s.met.sessionOpened()
+	s.met.setSessions(len(s.sessions))
 	s.mu.Unlock()
 	if evict != nil {
 		s.logf("proto: session %s expired, evicted by re-hello", hello.Tenant)
@@ -242,6 +261,7 @@ func (s *Server) handle(conn net.Conn) {
 		if s.sessions[hello.Tenant] == sess {
 			delete(s.sessions, hello.Tenant)
 		}
+		s.met.setSessions(len(s.sessions))
 		s.mu.Unlock()
 	}()
 	for {
@@ -282,16 +302,19 @@ func (sess *session) send(m Message) error {
 
 func (s *Server) acceptBids(sess *session, msg Message) error {
 	if msg.Slot < 0 {
+		s.met.bidRejected(rejectSlot)
 		return fmt.Errorf("bid for negative slot %d", msg.Slot)
 	}
 	converted := make([]core.Bid, 0, len(msg.Bids))
 	for _, rb := range msg.Bids {
 		idx, ok := sess.racks[rb.Rack]
 		if !ok {
+			s.met.bidRejected(rejectRack)
 			return fmt.Errorf("rack %q not registered for tenant %s", rb.Rack, sess.tenant)
 		}
 		lb := core.LinearBid{DMax: rb.DMax, DMin: rb.DMin, QMin: rb.QMin, QMax: rb.QMax}
 		if err := lb.Validate(); err != nil {
+			s.met.bidRejected(rejectInvalid)
 			return err
 		}
 		converted = append(converted, core.Bid{Rack: idx, Tenant: sess.tenant, Fn: lb})
@@ -303,9 +326,11 @@ func (s *Server) acceptBids(sess *session, msg Message) error {
 	// bid would sit in the bid map unpruned, an unbounded-growth vector.
 	if s.haveTaken {
 		if msg.Slot < s.taken {
+			s.met.bidRejected(rejectStale)
 			return fmt.Errorf("stale bid for slot %d (market is past it; no spot capacity applies)", msg.Slot)
 		}
 		if msg.Slot > s.taken+s.opts.BidWindow {
+			s.met.bidRejected(rejectWindow)
 			return fmt.Errorf("bid for slot %d outside window (accepting slots %d..%d)",
 				msg.Slot, s.taken, s.taken+s.opts.BidWindow)
 		}
@@ -317,6 +342,7 @@ func (s *Server) acceptBids(sess *session, msg Message) error {
 	}
 	// A re-submitted bid replaces the tenant's earlier one for the slot.
 	slotBids[sess.tenant] = converted
+	s.met.bidAccepted()
 	return nil
 }
 
@@ -372,7 +398,10 @@ func (s *Server) Broadcast(slot int, price float64, allocs []core.Allocation, ra
 	for _, sess := range sessions {
 		msg := Message{Type: TypePrice, Tenant: sess.tenant, Slot: slot, Price: price, Grants: perTenant[sess.tenant]}
 		if err := sess.send(msg); err != nil {
+			s.met.broadcast(false)
 			s.logf("proto: broadcast to %s failed: %v", sess.tenant, err)
+		} else {
+			s.met.broadcast(true)
 		}
 	}
 }

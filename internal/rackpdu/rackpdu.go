@@ -13,7 +13,31 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"spotdc/internal/metrics"
 )
+
+// Metrics is the rack-PDU emulation's pre-registered handle set, shared by
+// every PDU of a run (counters aggregate across units). Build one with
+// NewMetrics and hand it to Config.Metrics; nil disables instrumentation.
+type Metrics struct {
+	resets     *metrics.Counter
+	violations *metrics.Counter
+	caps       *metrics.Counter
+}
+
+// NewMetrics registers the rack-PDU families on r. Registration is
+// idempotent per registry.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		resets: r.Counter("spotdc_rackpdu_budget_resets_total",
+			"Rack power-budget resets applied (SpotDC issues one per rack per slot; the AP8632 sustains 20+/s)."),
+		violations: r.Counter("spotdc_rackpdu_budget_violations_total",
+			"Observations where a rack's metered draw exceeded its budget."),
+		caps: r.Counter("spotdc_rackpdu_caps_enforced_total",
+			"Involuntary power cuts applied to racks that kept exceeding their budget."),
+	}
+}
 
 // ErrOutlet reports an out-of-range outlet index.
 var ErrOutlet = errors.New("rackpdu: invalid outlet")
@@ -36,6 +60,7 @@ type PDU struct {
 	resets      int
 	overBudget  int // slots/observations where draw exceeded budget
 	lastObserve float64
+	met         *Metrics
 }
 
 // Config parameterizes a PDU.
@@ -50,6 +75,9 @@ type Config struct {
 	// AP8632 sustains 20+ resets/s, i.e. < 50 ms. Zero means instantaneous
 	// (useful in simulations).
 	ResetDelay time.Duration
+	// Metrics, if non-nil, counts budget resets, violations, and enforced
+	// caps on the shared rack-PDU handle set.
+	Metrics *Metrics
 }
 
 // New builds a PDU with all outlets switched on.
@@ -70,6 +98,7 @@ func New(cfg Config) (*PDU, error) {
 		outletOn:   make([]bool, n),
 		budget:     cfg.BudgetWatts,
 		resetDelay: cfg.ResetDelay,
+		met:        cfg.Metrics,
 	}
 	for i := range p.outletOn {
 		p.outletOn[i] = true
@@ -100,6 +129,9 @@ func (p *PDU) SetBudget(watts float64) error {
 	defer p.mu.Unlock()
 	p.budget = watts
 	p.resets++
+	if p.met != nil {
+		p.met.resets.Inc()
+	}
 	return nil
 }
 
@@ -197,6 +229,9 @@ func (p *PDU) Observe() (totalWatts float64, overBudget bool) {
 	p.lastObserve = t
 	if t > p.budget+1e-9 {
 		p.overBudget++
+		if p.met != nil {
+			p.met.violations.Inc()
+		}
 		return t, true
 	}
 	return t, false
@@ -222,6 +257,9 @@ func (p *PDU) EnforceCap() float64 {
 	scale := p.budget / t
 	for i := range p.outletDraw {
 		p.outletDraw[i] *= scale
+	}
+	if p.met != nil {
+		p.met.caps.Inc()
 	}
 	return t - p.budget
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"spotdc/internal/core"
+	"spotdc/internal/metrics"
 	"spotdc/internal/operator"
 	"spotdc/internal/power"
 	"spotdc/internal/proto"
@@ -49,6 +50,16 @@ type NetRunOptions struct {
 	// BidWindow is the server's bid acceptance window in slots (default
 	// proto's 16).
 	BidWindow int
+	// Registry, if non-nil, instruments the whole networked plane on one
+	// registry: the market core and operator families (as in Run), plus one
+	// shared proto.Metrics wired into the server, every tenant client, and
+	// both fault injectors — so /metrics shows sessions, bid rejections,
+	// broadcast outcomes, and injected faults live.
+	Registry *metrics.Registry
+	// Journal, if non-nil, receives one structured SlotEvent JSON line per
+	// market slot (cleared or degraded), stamped with the cumulative
+	// injected-fault counts of both directions.
+	Journal *metrics.Journal
 }
 
 func (o *NetRunOptions) setDefaults() {
@@ -138,11 +149,19 @@ func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
 		return nil, err
 	}
 	opts.setDefaults()
+	var opMetrics *operator.Metrics
+	var protoMetrics *proto.Metrics
+	if opts.Registry != nil {
+		sc.MarketOptions.Metrics = core.NewMarketMetrics(opts.Registry)
+		opMetrics = operator.NewMetrics(opts.Registry)
+		protoMetrics = proto.NewMetrics(opts.Registry)
+	}
 	op, err := operator.New(operator.Config{
 		Topology:      sc.Topo,
 		MarketOptions: sc.MarketOptions,
 		Pricing:       sc.Pricing,
 		Predict:       sc.Predict,
+		Metrics:       opMetrics,
 	})
 	if err != nil {
 		return nil, err
@@ -155,6 +174,8 @@ func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	bidInj.SetMetrics(protoMetrics)
+	bcastInj.SetMetrics(protoMetrics)
 	topo := sc.Topo
 	srv, err := proto.NewServerOpts("127.0.0.1:0", func(id string) (int, bool) {
 		return topo.RackByID(id)
@@ -162,11 +183,13 @@ func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
 		SessionTTL: opts.SessionTTL,
 		BidWindow:  opts.BidWindow,
 		WrapConn:   bcastInj.Wrap,
+		Metrics:    protoMetrics,
+		// Logf stays nil: faults are expected here, the server is quiet by
+		// default, and the metrics above carry the signal.
 	})
 	if err != nil {
 		return nil, err
 	}
-	srv.SetLogf(func(string, ...interface{}) {}) // faults are expected; stay quiet
 	defer srv.Close()
 
 	clock, err := proto.NewSlotClock(time.Now().Add(2*opts.SlotLen), opts.SlotLen)
@@ -211,6 +234,11 @@ func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
 		RackID:                 func(i int) string { return topo.Racks[i].ID },
 		MaxConsecutiveFailures: opts.MaxConsecutiveFailures,
 		BreakerCooldownSlots:   opts.BreakerCooldownSlots,
+		Journal:                opts.Journal,
+		FaultCounts: func() (drops, delays, severs int64) {
+			b, c := bidInj.Stats(), bcastInj.Stats()
+			return b.Drops + c.Drops, b.Delays + c.Delays, b.Severs + c.Severs
+		},
 		OnSlot: func(slot int, out operator.SlotOutcome, bids int) {
 			if err := op.VerifyFeasible(out.Result.Allocations); err != nil {
 				res.InfeasibleSlots++
@@ -225,7 +253,7 @@ func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
 		wg.Add(1)
 		go func(idx int, a tenant.Agent) {
 			defer wg.Done()
-			st := runNetTenant(a, topo, srv.Addr(), clock, sc.Slots, bidInj, opts, int64(idx))
+			st := runNetTenant(a, topo, srv.Addr(), clock, sc.Slots, bidInj, protoMetrics, opts, int64(idx))
 			mu.Lock()
 			res.Tenants[st.Name] = st
 			mu.Unlock()
@@ -251,7 +279,7 @@ func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
 // the preceding slot, await the price just after the boundary, and treat
 // every failure as "no spot capacity this slot".
 func runNetTenant(a tenant.Agent, topo *power.Topology, addr string, clock *proto.SlotClock,
-	slots int, inj *proto.FaultInjector, opts NetRunOptions, seed int64) *NetTenantStats {
+	slots int, inj *proto.FaultInjector, pm *proto.Metrics, opts NetRunOptions, seed int64) *NetTenantStats {
 	st := &NetTenantStats{Name: a.Name()}
 	rackIDs := make([]string, 0, len(a.Racks()))
 	for _, r := range a.Racks() {
@@ -265,6 +293,7 @@ func runNetTenant(a tenant.Agent, topo *power.Topology, addr string, clock *prot
 		Seed:             seed,
 		HandshakeTimeout: 2 * opts.SlotLen,
 		Dialer:           inj.Dial,
+		Metrics:          pm,
 	}
 	// The initial dial itself may be hit by injected faults; retry a few
 	// times before conceding the tenant never joins the market.

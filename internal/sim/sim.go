@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"spotdc/internal/core"
+	"spotdc/internal/metrics"
 	"spotdc/internal/operator"
 	"spotdc/internal/par"
 	"spotdc/internal/power"
@@ -210,6 +211,13 @@ type RunOptions struct {
 	// Record enables per-slot tenant performance traces (Fig. 10/11);
 	// leave off for year-long runs.
 	Record bool
+	// Registry, if non-nil, instruments the run: the market core and
+	// operator register their families on it (registration is idempotent,
+	// so a parallel scenario fan-out may share one registry — counters then
+	// aggregate across scenarios) and the simulator counts slots on
+	// spotdc_sim_slots_total. Instrumentation never perturbs results: every
+	// observation is an atomic side effect of values already computed.
+	Registry *metrics.Registry
 }
 
 // Run simulates the scenario.
@@ -217,11 +225,22 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 	if err := sc.validate(); err != nil {
 		return nil, err
 	}
+	var slotsTotal *metrics.Counter
+	var opMetrics *operator.Metrics
+	if opts.Registry != nil {
+		// sc is a by-value copy, so wiring market instrumentation here never
+		// mutates the caller's scenario.
+		sc.MarketOptions.Metrics = core.NewMarketMetrics(opts.Registry)
+		opMetrics = operator.NewMetrics(opts.Registry)
+		slotsTotal = opts.Registry.Counter("spotdc_sim_slots_total",
+			"Simulated market slots completed, across all scenarios sharing the registry.")
+	}
 	op, err := operator.New(operator.Config{
 		Topology:      sc.Topo,
 		MarketOptions: sc.MarketOptions,
 		Pricing:       sc.Pricing,
 		Predict:       sc.Predict,
+		Metrics:       opMetrics,
 	})
 	if err != nil {
 		return nil, err
@@ -442,6 +461,7 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 		for m := range sc.Topo.PDUs {
 			res.PDUPower[m] = append(res.PDUPower[m], sc.Topo.PDUPower(reading, m))
 		}
+		slotsTotal.Inc() // nil-safe: no-op when uninstrumented
 	}
 	if opts.Record {
 		for i, a := range sc.Agents {

@@ -25,7 +25,14 @@ trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench "${BENCH_FILTER:-.}" -benchtime "${BENCH_TIME:-1x}" -benchmem ./... | tee "$tmp"
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+# Environment metadata embedded in the artifact: numbers are only
+# comparable across runs made in the same environment, so record it.
+go_version="$(go version | sed 's/^go version //')"
+gomaxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)}"
+cpu_model="$(awk -F': *' '/^model name/ { print $2; exit }' /proc/cpuinfo 2>/dev/null || true)"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	-v go_version="$go_version" -v gomaxprocs="$gomaxprocs" -v cpu_model="$cpu_model" '
 /^goos:/ { goos = $2 }
 /^goarch:/ { goarch = $2 }
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
@@ -44,8 +51,11 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 	lines[n] = line "}"
 }
 END {
+	if (cpu == "" && cpu_model != "") cpu = cpu_model
 	printf "{\n"
 	printf "  \"date\": \"%s\",\n", date
+	printf "  \"go_version\": \"%s\",\n", go_version
+	printf "  \"gomaxprocs\": %s,\n", (gomaxprocs == "" ? 0 : gomaxprocs)
 	printf "  \"goos\": \"%s\",\n", goos
 	printf "  \"goarch\": \"%s\",\n", goarch
 	printf "  \"cpu\": \"%s\",\n", cpu

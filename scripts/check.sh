@@ -16,9 +16,13 @@
 #                            the parallel candidate evaluation inside the
 #                            exact clearing engine
 #                            (internal/core/clear_exact.go) is covered too
-#   6. a one-iteration smoke of the Fig. 7(b) clearing benchmark, which
+#   6. the observability smoke: a short networked market scraped over
+#      live HTTP /metrics mid-run (make smoke-metrics), proving the
+#      scrape surface end to end on every check
+#   7. a one-iteration smoke of the Fig. 7(b) clearing benchmark, which
 #      doubles as a regression tripwire for the allocation-free hot loop
-#      (the alloc budgets themselves are enforced by TestClearAllocBudget)
+#      (the alloc budgets themselves are enforced by TestClearAllocBudget
+#      and, with instrumentation on, TestClearAllocBudgetInstrumented)
 #
 # Tier-1 (ROADMAP.md) remains `go build ./... && go test ./...`; this script
 # is a superset of it.
@@ -36,6 +40,8 @@ go test -race -count=1 -run 'TestParallelMatchesSerial' ./internal/sim/
 go test -race -count=1 -run 'TestFanOutDeterminism' ./internal/experiments/
 echo '== go test -race ./...'
 go test -race ./...
+echo '== smoke: /metrics scrape of a live networked market'
+go test -race -count=1 -run 'TestSmokeMetricsScrape' .
 echo '== bench smoke: Fig. 7(b) clearing'
 go test -run '^$' -bench 'BenchmarkFig7bClearingTime' -benchtime 1x -benchmem .
 echo 'check: OK'

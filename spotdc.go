@@ -41,6 +41,8 @@
 package spotdc
 
 import (
+	"io"
+	"net/http"
 	"time"
 
 	"spotdc/internal/billing"
@@ -48,7 +50,9 @@ import (
 	"spotdc/internal/config"
 	"spotdc/internal/core"
 	"spotdc/internal/experiments"
+	"spotdc/internal/metrics"
 	"spotdc/internal/operator"
+	"spotdc/internal/par"
 	"spotdc/internal/power"
 	"spotdc/internal/proto"
 	"spotdc/internal/sim"
@@ -424,3 +428,60 @@ func RunExperiment(id string, opt ExperimentOptions) (*ExperimentReport, error) 
 func RunAllExperiments(opt ExperimentOptions) ([]*ExperimentReport, error) {
 	return experiments.RunAll(opt)
 }
+
+// Observability (internal/metrics): an allocation-free metrics registry
+// with Prometheus text exposition, plus the structured per-slot event
+// journal. Instrumentation is strictly opt-in — every layer accepts a nil
+// metrics handle and skips all bookkeeping.
+type (
+	// MetricsRegistry holds every registered metric family and renders a
+	// deterministic Prometheus text snapshot.
+	MetricsRegistry = metrics.Registry
+	// MarketMetrics instruments market clearings (handles for
+	// MarketOptions.Metrics).
+	MarketMetrics = core.MarketMetrics
+	// OperatorMetrics instruments the per-slot operator loop (handles for
+	// OperatorConfig.Metrics).
+	OperatorMetrics = operator.Metrics
+	// MarketProtoMetrics instruments the wire protocol: sessions,
+	// reconnects, bid rejections and injected faults (handles for
+	// MarketServerOptions.Metrics / MarketClientOptions.Metrics /
+	// FaultInjector.SetMetrics).
+	MarketProtoMetrics = proto.Metrics
+	// SlotJournal appends one structured SlotEvent JSON line per market
+	// slot (MarketLoop.Journal).
+	SlotJournal = metrics.Journal
+	// SlotEvent is one journal line: price, volume, revenue, degradation
+	// and fault counters for a slot.
+	SlotEvent = metrics.SlotEvent
+)
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewMarketMetrics registers the market-clearing families on r.
+func NewMarketMetrics(r *MetricsRegistry) *MarketMetrics { return core.NewMarketMetrics(r) }
+
+// NewOperatorMetrics registers the operator slot-loop families on r.
+func NewOperatorMetrics(r *MetricsRegistry) *OperatorMetrics { return operator.NewMetrics(r) }
+
+// NewMarketProtoMetrics registers the protocol families on r.
+func NewMarketProtoMetrics(r *MetricsRegistry) *MarketProtoMetrics { return proto.NewMetrics(r) }
+
+// NewSlotJournal builds a journal writing JSON lines to w.
+func NewSlotJournal(w io.Writer) *SlotJournal { return metrics.NewJournal(w) }
+
+// EnableWorkerPoolMetrics instruments the process-wide parallel worker
+// pools (scenario fan-out, intra-slot agent parallelism) on r.
+func EnableWorkerPoolMetrics(r *MetricsRegistry) { par.EnableMetrics(r) }
+
+// ServeMetrics serves GET /metrics (Prometheus text format 0.0.4) and
+// /healthz on addr. It returns the bound address (useful with ":0") and a
+// shutdown function.
+func ServeMetrics(addr string, r *MetricsRegistry) (boundAddr string, shutdown func() error, err error) {
+	return metrics.Serve(addr, r)
+}
+
+// MetricsHandler returns the /metrics exposition handler for embedding in
+// an existing HTTP server.
+func MetricsHandler(r *MetricsRegistry) http.Handler { return metrics.Handler(r) }
