@@ -10,13 +10,17 @@
 #   make smoke-metrics  observability smoke run: a short networked market
 #                       scraped over live HTTP /metrics mid-run, race
 #                       detector on
+#   make audit-replay   conservation audit smoke: the seeded 220-slot
+#                       networked run journals full slot inputs and the
+#                       offline auditor replays every cleared slot
+#                       bit-identically through both engines
 #   make bench-clearing scan vs exact Fig. 7(b) clearing-time comparison
 #   make bench          the full benchmark suite, recorded as the next free
 #                       BENCH_<n>.json artifact (scripts/bench.sh)
 
 GO ?= go
 
-.PHONY: check test smoke-faults smoke-metrics bench bench-clearing
+.PHONY: check test smoke-faults smoke-metrics audit-replay bench bench-clearing
 
 check:
 	./scripts/check.sh
@@ -30,6 +34,9 @@ smoke-faults:
 
 smoke-metrics:
 	$(GO) test -race -count=1 -v -run 'TestSmokeMetricsScrape' .
+
+audit-replay:
+	$(GO) test -race -count=1 -v -run 'TestGoldenNetRunJournalReplay' ./internal/audit/
 
 bench-clearing:
 	./scripts/bench-clearing.sh

@@ -1,0 +1,85 @@
+// Allocation and overhead budgets for the inline conservation auditor.
+// The auditor rides the clearing hot loop (Options.Audit), so it must
+// preserve the engines' steady-state allocation budgets exactly — 0 for
+// the grid scan, ≤32 for the exact breakpoint search — and stay within a
+// few percent of wall time: its pass is one O(1)-per-bid loop over
+// market-owned scratch.
+package spotdc_test
+
+import (
+	"testing"
+
+	"spotdc"
+)
+
+func TestClearAllocBudgetAudited(t *testing.T) {
+	for _, tc := range []struct {
+		algo   spotdc.ClearingAlgorithm
+		budget float64
+	}{
+		{spotdc.AlgorithmScan, 0},
+		{spotdc.AlgorithmExact, 32},
+	} {
+		t.Run(tc.algo.String(), func(t *testing.T) {
+			cons, bids := syntheticMarket(15000)
+			aud := &spotdc.Auditor{}
+			mkt, err := spotdc.NewMarket(cons, spotdc.MarketOptions{
+				PriceStep: 0.001, Algorithm: tc.algo, Audit: aud,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm-up grows the audit scratch once; steady state is what
+			// every slot of the market's life pays.
+			if _, err := mkt.Clear(bids); err != nil {
+				t.Fatal(err)
+			}
+			avg := testing.AllocsPerRun(5, func() {
+				if _, err := mkt.Clear(bids); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg > tc.budget {
+				t.Errorf("algo %v audited: %v allocs/Clear at 15000 racks, budget %v", tc.algo, avg, tc.budget)
+			}
+			if aud.Violations() != 0 {
+				t.Fatalf("synthetic market flagged: %v", aud.Err())
+			}
+		})
+	}
+}
+
+// BenchmarkClearAuditOverhead measures the audited clearing loop against
+// the bare one at the paper's largest operating point. Compare:
+//
+//	go test -bench BenchmarkClearAuditOverhead -benchtime 2s spotdc
+//
+// The acceptance budget is ≤5% overhead for either engine.
+func BenchmarkClearAuditOverhead(b *testing.B) {
+	for _, algo := range []spotdc.ClearingAlgorithm{spotdc.AlgorithmScan, spotdc.AlgorithmExact} {
+		for _, audited := range []bool{false, true} {
+			name := algo.String() + "/bare"
+			opts := spotdc.MarketOptions{PriceStep: 0.001, Algorithm: algo}
+			if audited {
+				name = algo.String() + "/audited"
+				opts.Audit = &spotdc.Auditor{}
+			}
+			b.Run(name, func(b *testing.B) {
+				cons, bids := syntheticMarket(15000)
+				mkt, err := spotdc.NewMarket(cons, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := mkt.Clear(bids); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := mkt.Clear(bids); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command spotdc-audit replays slot journals offline and re-verifies the
+// market's conservation invariants: grant envelopes, hierarchical
+// capacity (Eqns. 2–4), revenue arithmetic, degraded-slot zeroing, and —
+// for schema-v2 journals — bit-identical reproduction of every cleared
+// slot through the recorded clearing engine, plus optional exact-vs-scan
+// engine agreement.
+//
+// Usage:
+//
+//	spotdc-audit [-engine-check] [-agreement-rel 0.01] [-v] journal.jsonl...
+//
+// Journals are produced by spotdc-operator -events or any harness wiring a
+// SlotJournal into MarketLoop (e.g. the sim package's NetRun). v1
+// journals (no header line) get outcome-level checks only; v2 journals
+// replay in full. Exits 1 if any journal fails an invariant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"spotdc"
+)
+
+func main() {
+	engineCheck := flag.Bool("engine-check", false, "additionally clear every replayed slot through the other engine and assert revenue agreement")
+	agreementRel := flag.Float64("agreement-rel", 0, "relative revenue tolerance for -engine-check (0 = default 0.01)")
+	maxPrint := flag.Int("max-violations", 20, "print at most this many violations per journal")
+	verbose := flag.Bool("v", false, "narrate per-journal progress")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: spotdc-audit [-engine-check] [-agreement-rel REL] [-v] journal.jsonl...")
+		os.Exit(2)
+	}
+
+	opts := spotdc.AuditOptions{EngineCheck: *engineCheck, AgreementRel: *agreementRel}
+	if *verbose {
+		opts.Logf = log.Printf
+	}
+
+	failed := 0
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := spotdc.ReplayJournal(f, opts)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		schema := "v1 (outcome-only)"
+		if rep.Header != nil {
+			schema = "v2"
+		}
+		fmt.Printf("%s: %s, %d slots (%d cleared, %d degraded), %d replayed, %d outcome-only, revenue $%.6f\n",
+			path, schema, rep.Slots, rep.Cleared, rep.Degraded, rep.Replayed, rep.OutcomeOnly, rep.TotalRevenue)
+		if rep.OK() {
+			fmt.Printf("%s: OK — every invariant held\n", path)
+			continue
+		}
+		failed++
+		for i, v := range rep.Violations {
+			if i >= *maxPrint {
+				fmt.Printf("%s: ... and %d more violations\n", path, len(rep.Violations)-*maxPrint)
+				break
+			}
+			fmt.Printf("%s: VIOLATION %s\n", path, v)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

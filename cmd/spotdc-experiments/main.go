@@ -61,11 +61,12 @@ func run() error {
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (e.g. localhost:9090)")
+	auditRuns := flag.Bool("audit", false, "re-verify clearing invariants and reconcile the books on every simulation (fails the run on any violation)")
 	flag.Parse()
 
 	opt := experiments.Options{
 		Seed: *seed, LongSlots: *longSlots, ScaleSlots: *scaleSlots,
-		Workers: *workers, Parallel: *parallel,
+		Workers: *workers, Parallel: *parallel, Audit: *auditRuns,
 	}
 	if *metricsAddr != "" {
 		reg := metrics.NewRegistry()

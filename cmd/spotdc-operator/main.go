@@ -10,7 +10,7 @@
 // Usage:
 //
 //	spotdc-operator [-listen 127.0.0.1:7070] [-slot-seconds 10] [-slots N] \
-//	    [-metrics-addr host:port] [-events FILE] [-v]
+//	    [-metrics-addr host:port] [-events FILE] [-audit] [-v]
 //
 // Observability: -metrics-addr serves Prometheus text metrics on
 // GET /metrics (plus /healthz) covering market clearings, operator slot
@@ -42,6 +42,7 @@ func main() {
 	breakerCooldown := flag.Int("breaker-cooldown-slots", 0, "slots to hold the breaker open before a half-open probe (0 = stay open)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (e.g. localhost:9090)")
 	eventsFile := flag.String("events", "", "append one JSON slot event per market slot to this file")
+	auditRun := flag.Bool("audit", false, "re-verify clearing invariants inline on every slot and log violations")
 	verbose := flag.Bool("v", false, "verbose: per-slot results and protocol diagnostics (default: quiet)")
 	flag.Parse()
 
@@ -101,9 +102,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	mktOpts := spotdc.MarketOptions{PriceStep: 0.001, Algorithm: algo, Metrics: mktMet}
+	var auditor *spotdc.Auditor
+	if *auditRun {
+		auditor = &spotdc.Auditor{OnViolation: func(v error) {
+			log.Printf("spotdc-operator: AUDIT VIOLATION: %v", v)
+		}}
+		mktOpts.Audit = auditor
+	}
 	op, err := spotdc.NewOperator(spotdc.OperatorConfig{
 		Topology:      topo,
-		MarketOptions: spotdc.MarketOptions{PriceStep: 0.001, Algorithm: algo, Metrics: mktMet},
+		MarketOptions: mktOpts,
 		Metrics:       opMet,
 	})
 	if err != nil {
@@ -114,8 +123,11 @@ func main() {
 	}, spotdc.MarketServerOptions{
 		SessionTTL: *sessionTTL,
 		BidWindow:  *bidWindow,
-		Metrics:    protoMet,
-		Logf:       logf,
+		// Racks are single-tenant: reject a hello that claims another
+		// tenant's rack instead of silently mis-billing its grants.
+		OwnerOf: func(i int) string { return topo.Racks[i].Tenant },
+		Metrics: protoMet,
+		Logf:    logf,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -196,5 +208,14 @@ func main() {
 	}
 	if err := journal.Err(); err != nil {
 		log.Printf("spotdc-operator: slot journal degraded: %v", err)
+	}
+	if auditor != nil {
+		if n := auditor.Violations(); n > 0 {
+			log.Fatalf("spotdc-operator: audit recorded %d violation(s): %v", n, auditor.Err())
+		}
+		if err := op.ReconcileAccounts(); err != nil {
+			log.Fatalf("spotdc-operator: %v", err)
+		}
+		log.Printf("spotdc-operator: audit clean — every slot conserved power and revenue")
 	}
 }

@@ -1,0 +1,177 @@
+package audit_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"spotdc/internal/audit"
+	"spotdc/internal/metrics"
+	"spotdc/internal/proto"
+	"spotdc/internal/sim"
+)
+
+// TestGoldenNetRunJournalReplay is the PR's acceptance run: the seeded
+// 220-slot networked fault schedule (the same plan as sim's
+// TestNetRunSeededFaultSchedule) journals every slot with full schema-v2
+// inputs, and the offline auditor must replay every cleared slot through
+// both engines bit-identically with zero violations. The degraded slot
+// (the poisoned reading at slot 60) must carry no revenue and no grants.
+func TestGoldenNetRunJournalReplay(t *testing.T) {
+	sc, err := sim.Testbed(sim.TestbedOptions{Seed: 17, Slots: 220})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	journal := metrics.NewJournal(&buf)
+	res, err := sim.NetRun(sc, sim.NetRunOptions{
+		SlotLen: 15 * time.Millisecond,
+		BidFaults: proto.FaultPlan{
+			Seed: 1, DropProb: 0.08, DelayProb: 0.05, MaxDelay: 3 * time.Millisecond, SeverProb: 0.02,
+		},
+		BroadcastFaults: proto.FaultPlan{
+			Seed: 2, DropProb: 0.05, DelayProb: 0.05, MaxDelay: 3 * time.Millisecond, SeverProb: 0.01,
+		},
+		ErrorSlots:             []int{60},
+		MaxConsecutiveFailures: 5,
+		Reconnect:              true,
+		SessionTTL:             150 * time.Millisecond,
+		Journal:                journal,
+		Audit:                  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cleared != 219 || res.SlotErrors != 1 {
+		t.Fatalf("cleared/errors = %d/%d, want 219/1", res.Cleared, res.SlotErrors)
+	}
+	if journal.Events() != 220 || !journal.HasHeader() {
+		t.Fatalf("journal: %d events, header %v", journal.Events(), journal.HasHeader())
+	}
+
+	rep, err := audit.Replay(bytes.NewReader(buf.Bytes()), audit.Options{
+		EngineCheck: true,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range rep.Violations {
+		if i >= 10 {
+			t.Errorf("... and %d more", len(rep.Violations)-10)
+			break
+		}
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Slots != 220 || rep.Cleared != 219 || rep.Degraded != 1 {
+		t.Errorf("report slots/cleared/degraded = %d/%d/%d, want 220/219/1",
+			rep.Slots, rep.Cleared, rep.Degraded)
+	}
+	// Every cleared slot must have replayed with full inputs — an
+	// outcome-only slot means the capture path lost information.
+	if rep.Replayed != rep.Cleared {
+		t.Errorf("replayed %d of %d cleared slots (%d outcome-only)",
+			rep.Replayed, rep.Cleared, rep.OutcomeOnly)
+	}
+	// The journal's books must equal the operator's: bit-for-bit is not
+	// guaranteed for the *sum* (the journal is re-summed in a different
+	// association), but compensated summation on both sides leaves only
+	// ulp-level slack.
+	if d := rep.TotalRevenue - res.SpotRevenue; d > 1e-9 || d < -1e-9 {
+		t.Errorf("journal revenue $%v vs operator $%v (Δ %g)", rep.TotalRevenue, res.SpotRevenue, d)
+	}
+}
+
+// TestReplayFlagsTamperedJournal proves the replay check has teeth: nudging
+// one journaled outcome by a single cent must surface as a violation.
+func TestReplayFlagsTamperedJournal(t *testing.T) {
+	sc, err := sim.Testbed(sim.TestbedOptions{Seed: 3, Slots: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	journal := metrics.NewJournal(&buf)
+	if _, err := sim.NetRun(sc, sim.NetRunOptions{
+		SlotLen: 15 * time.Millisecond,
+		Journal: journal,
+		Audit:   true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hdr, events, err := metrics.ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := audit.CheckJournal(hdr, events, audit.Options{EngineCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.OK() {
+		t.Fatalf("clean journal reported violations: %v", clean.Violations)
+	}
+
+	tampered := false
+	for i := range events {
+		if !events[i].Degraded && events[i].SoldWatts > 0 {
+			events[i].Price += 0.01
+			tampered = true
+			break
+		}
+	}
+	if !tampered {
+		t.Skip("no cleared slot with sales to tamper with")
+	}
+	rep, err := audit.CheckJournal(hdr, events, audit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("tampered journal passed the audit")
+	}
+	if err := rep.Err(); err == nil || !strings.Contains(err.Error(), "violation") {
+		t.Errorf("Err() = %v", err)
+	}
+}
+
+// TestCheckJournalV1OutcomeOnly asserts the backward-compat path: a v1
+// journal (no header) still gets outcome-level checks, and a degraded slot
+// that carries revenue is flagged — the billing-leak class of bug this PR
+// fixes.
+func TestCheckJournalV1OutcomeOnly(t *testing.T) {
+	events := []metrics.SlotEvent{
+		{Slot: 0, Price: 0.05, SoldWatts: 100, Revenue: 0.000625, Grants: 1, Bids: 2},
+		{Slot: 1, Degraded: true, Err: "poisoned reading"},
+	}
+	rep, err := audit.CheckJournal(nil, events, audit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("clean v1 journal flagged: %v", rep.Violations)
+	}
+	if rep.OutcomeOnly != 1 || rep.Replayed != 0 {
+		t.Errorf("outcome-only/replayed = %d/%d, want 1/0", rep.OutcomeOnly, rep.Replayed)
+	}
+
+	// A degraded slot with a surviving spot line item is a billing leak.
+	leaky := []metrics.SlotEvent{
+		{Slot: 0, Degraded: true, Err: "x", Revenue: 0.001},
+	}
+	rep, err = audit.CheckJournal(nil, leaky, audit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("degraded slot with revenue passed the audit")
+	}
+
+	// Out-of-order slots are flagged.
+	rep, err = audit.CheckJournal(nil, []metrics.SlotEvent{{Slot: 5}, {Slot: 4}}, audit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("out-of-order journal passed the audit")
+	}
+}

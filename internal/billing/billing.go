@@ -15,6 +15,7 @@ import (
 
 	"spotdc/internal/operator"
 	"spotdc/internal/sim"
+	"spotdc/internal/stats"
 )
 
 // ErrBilling reports invalid billing input.
@@ -28,12 +29,16 @@ type Ledger struct {
 	tenants map[string]*usage
 }
 
+// usage accumulates a tenant's streaming slot records. Hours, energy, and
+// money use compensated (Neumaier) accumulators: a month of 5-minute slots
+// is ~8,760 per-slot terms per tenant, and naive += drops small spot
+// payments once the running totals grow (see stats.Neumaier).
 type usage struct {
 	reservedWatts float64
-	hours         float64
-	energyKWh     float64
-	spotKWh       float64
-	spotPaid      float64
+	hours         stats.Neumaier
+	energyKWh     stats.Neumaier
+	spotKWh       stats.Neumaier
+	spotPaid      stats.Neumaier
 	spotSlots     int
 	peakSpotWatts float64
 }
@@ -72,10 +77,10 @@ func (l *Ledger) RecordSlot(tenant string, drawWatts, spotGrantWatts, price, slo
 	if drawWatts < 0 || spotGrantWatts < 0 || price < 0 || slotHours <= 0 {
 		return fmt.Errorf("%w: negative usage for %q", ErrBilling, tenant)
 	}
-	u.hours += slotHours
-	u.energyKWh += drawWatts / 1000 * slotHours
-	u.spotKWh += spotGrantWatts / 1000 * slotHours
-	u.spotPaid += price * spotGrantWatts / 1000 * slotHours
+	u.hours.Add(slotHours)
+	u.energyKWh.Add(drawWatts / 1000 * slotHours)
+	u.spotKWh.Add(spotGrantWatts / 1000 * slotHours)
+	u.spotPaid.Add(price * spotGrantWatts / 1000 * slotHours)
 	if spotGrantWatts > 0 {
 		u.spotSlots++
 		if spotGrantWatts > u.peakSpotWatts {
@@ -83,6 +88,17 @@ func (l *Ledger) RecordSlot(tenant string, drawWatts, spotGrantWatts, price, slo
 		}
 	}
 	return nil
+}
+
+// SpotPaidTotal returns the ledger-wide sum of spot line items in $ — the
+// quantity that must reconcile with the operator's SpotRevenue (audit
+// invariant: every dollar billed to a tenant was earned in some slot).
+func (l *Ledger) SpotPaidTotal() float64 {
+	var total stats.Neumaier
+	for _, u := range l.tenants {
+		total.Add(u.spotPaid.Sum())
+	}
+	return total.Sum()
 }
 
 // LineItem is one row of an invoice.
@@ -136,32 +152,36 @@ func (l *Ledger) Invoices() []Invoice {
 }
 
 func buildInvoice(p operator.Pricing, tenant string, u *usage) Invoice {
-	inv := Invoice{Tenant: tenant, PeriodHours: u.hours}
-	kwMonths := u.reservedWatts / 1000 * u.hours / operator.HoursPerMonth
+	hours := u.hours.Sum()
+	energyKWh := u.energyKWh.Sum()
+	spotKWh := u.spotKWh.Sum()
+	spotPaid := u.spotPaid.Sum()
+	inv := Invoice{Tenant: tenant, PeriodHours: hours}
+	kwMonths := u.reservedWatts / 1000 * hours / operator.HoursPerMonth
 	sub := kwMonths * p.GuaranteedPerKWMonth
 	inv.Items = append(inv.Items, LineItem{
 		Description: "guaranteed capacity subscription",
 		Quantity:    kwMonths, Unit: "kW-month",
 		Rate: p.GuaranteedPerKWMonth, Amount: sub,
 	})
-	energy := u.energyKWh * p.EnergyPerKWh
+	energy := energyKWh * p.EnergyPerKWh
 	inv.Items = append(inv.Items, LineItem{
 		Description: "metered energy",
-		Quantity:    u.energyKWh, Unit: "kWh",
+		Quantity:    energyKWh, Unit: "kWh",
 		Rate: p.EnergyPerKWh, Amount: energy,
 	})
 	spotRate := 0.0
-	if u.spotKWh > 0 {
-		spotRate = u.spotPaid / u.spotKWh
+	if spotKWh > 0 {
+		spotRate = spotPaid / spotKWh
 	}
 	inv.Items = append(inv.Items, LineItem{
 		Description: fmt.Sprintf("spot capacity (%d slots, peak %.0f W)", u.spotSlots, u.peakSpotWatts),
-		Quantity:    u.spotKWh, Unit: "kWh",
-		Rate: spotRate, Amount: u.spotPaid,
+		Quantity:    spotKWh, Unit: "kWh",
+		Rate: spotRate, Amount: spotPaid,
 	})
-	inv.Total = sub + energy + u.spotPaid
+	inv.Total = sub + energy + spotPaid
 	if inv.Total > 0 {
-		inv.SpotShare = u.spotPaid / inv.Total
+		inv.SpotShare = spotPaid / inv.Total
 	}
 	return inv
 }
@@ -185,10 +205,10 @@ func FromSimResult(res *sim.Result, pricing operator.Pricing) ([]Invoice, error)
 		}
 		u := l.tenants[name]
 		// The simulator aggregates; transplant its totals.
-		u.hours = res.Hours()
-		u.energyKWh = ts.EnergyKWh
-		u.spotKWh = ts.SpotKWh
-		u.spotPaid = ts.Payment
+		u.hours.Add(res.Hours())
+		u.energyKWh.Add(ts.EnergyKWh)
+		u.spotKWh.Add(ts.SpotKWh)
+		u.spotPaid.Add(ts.Payment)
 		u.spotSlots = ts.GrantSlots
 		u.peakSpotWatts = ts.GrantFrac.Max() * ts.Reserved
 	}

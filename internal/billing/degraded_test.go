@@ -1,0 +1,124 @@
+package billing
+
+import (
+	"math"
+	"testing"
+
+	"spotdc/internal/core"
+	"spotdc/internal/operator"
+	"spotdc/internal/power"
+)
+
+// TestDegradedSlotBillsNoSpot is the regression for the degraded-slot
+// billing leak: a slot that fails to clear (poisoned telemetry here) must
+// contribute zero spot line items — the no-spot default means nobody got
+// capacity, so nobody is billed — and the ledger must still reconcile with
+// the operator's spot revenue to the dollar. The leak this guards against
+// billed degraded slots at the previous slot's price and grants.
+func TestDegradedSlotBillsNoSpot(t *testing.T) {
+	topo, err := power.NewTopology(1370,
+		[]power.PDU{{ID: "PDU#1", Capacity: 715}, {ID: "PDU#2", Capacity: 724}},
+		[]power.Rack{
+			{ID: "S-1", Tenant: "Search-1", PDU: 0, Guaranteed: 145, SpotHeadroom: 60},
+			{ID: "O-1", Tenant: "Count-1", PDU: 0, Guaranteed: 125, SpotHeadroom: 60},
+			{ID: "S-3", Tenant: "Search-2", PDU: 1, Guaranteed: 145, SpotHeadroom: 60},
+			{ID: "O-4", Tenant: "Sort", PDU: 1, Guaranteed: 125, SpotHeadroom: 60},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := operator.New(operator.Config{Topology: topo, MarketOptions: core.Options{PriceStep: 0.001}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := newLedger(t)
+	for _, r := range topo.Racks {
+		if err := led.Register(r.Tenant, r.Guaranteed); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bids := func() []core.Bid {
+		return []core.Bid{
+			{Rack: 0, Tenant: "Search-1", Fn: core.LinearBid{DMax: 50, DMin: 10, QMin: 0.02, QMax: 0.2}},
+			{Rack: 2, Tenant: "Search-2", Fn: core.LinearBid{DMax: 40, DMin: 5, QMin: 0.03, QMax: 0.25}},
+		}
+	}
+	reading := func(poisoned bool) power.Reading {
+		rd := power.Reading{
+			RackWatts:     make([]float64, len(topo.Racks)),
+			OtherPDUWatts: []float64{180, 180},
+		}
+		for i, r := range topo.Racks {
+			rd.RackWatts[i] = 0.75 * r.Guaranteed
+		}
+		if poisoned {
+			rd.RackWatts[0] = math.NaN()
+		}
+		return rd
+	}
+
+	const slotHours = 1.0 / 12
+	degraded := 0
+	for slot := 0; slot < 10; slot++ {
+		out, err := op.RunSlot(bids(), reading(slot == 4), slotHours)
+		if err != nil {
+			// Degraded slot: the market loop falls back to the no-spot
+			// default (Section III-C). Tenants draw their guaranteed power
+			// but there are NO spot grants and NO spot charges — the
+			// leak billed this slot at the previous price/grants.
+			degraded++
+			for i, r := range topo.Racks {
+				draw := 0.75 * r.Guaranteed
+				if math.IsNaN(reading(slot == 4).RackWatts[i]) {
+					draw = r.Guaranteed
+				}
+				if err := led.RecordSlot(r.Tenant, draw, 0, 0, slotHours); err != nil {
+					t.Fatal(err)
+				}
+			}
+			continue
+		}
+		grants := make(map[string]float64)
+		for _, a := range out.Result.Allocations {
+			if a.Watts > 0 {
+				grants[a.Tenant] += a.Watts
+			}
+		}
+		for i, r := range topo.Racks {
+			if err := led.RecordSlot(r.Tenant, reading(false).RackWatts[i]+grants[r.Tenant],
+				grants[r.Tenant], out.Result.Price, slotHours); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if degraded != 1 {
+		t.Fatalf("degraded slots = %d, want exactly 1 (the poisoned reading)", degraded)
+	}
+
+	// Every dollar billed as a spot line item was earned by the operator in
+	// some cleared slot; the degraded slot contributed none.
+	billed := led.SpotPaidTotal()
+	earned := op.SpotRevenue()
+	if earned <= 0 {
+		t.Fatal("test premise broken: no spot revenue in cleared slots")
+	}
+	if d := math.Abs(billed - earned); d > 1e-9*(1+earned) {
+		t.Errorf("ledger spot $%v vs operator spot $%v (Δ %g)", billed, earned, d)
+	}
+
+	// Teeth: re-billing the degraded slot at the prior slot's outcome (the
+	// bug) must break reconciliation — proving the check above detects it.
+	leak := earned / 9 // one slot's worth of revenue, roughly
+	if err := led.RecordSlot("Search-1", 145, leak*1000/slotHours/0.1, 0.1, slotHours); err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(led.SpotPaidTotal() - earned); d <= 1e-9*(1+earned) {
+		t.Error("reconciliation failed to detect a degraded-slot billing leak")
+	}
+
+	// The operator's own books agree with themselves.
+	if err := op.ReconcileAccounts(); err != nil {
+		t.Error(err)
+	}
+}

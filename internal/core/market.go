@@ -128,6 +128,12 @@ type Options struct {
 	// clearing loop's allocation budgets; nil disables it entirely at the
 	// cost of one branch per Clear.
 	Metrics *MarketMetrics
+	// Audit, if non-nil, re-verifies the settlement conservation invariants
+	// after every clearing (see Auditor). The inline pass is one O(bids)
+	// loop over market-owned scratch — allocation-free after warm-up, like
+	// Metrics — and never fails the clearing: violations are counted on the
+	// Auditor and surfaced via its OnViolation hook and Err().
+	Audit *Auditor
 }
 
 const defaultPriceStep = 0.001
@@ -194,6 +200,16 @@ type Market struct {
 	allocBuf []Allocation
 	// pduScale is rationedAllocations' per-PDU scale factor scratch.
 	pduScale []float64
+	// auditLoad is the inline auditor's per-PDU accumulation scratch.
+	auditLoad []float64
+	// rackLoad is VerifyFeasible's per-rack accumulation scratch (grants
+	// for the same rack must jointly respect its headroom).
+	rackLoad []float64
+	// rackSeen/rackEpoch implement O(1) duplicate-rack detection in Clear's
+	// validation pass without clearing a buffer per call: a rack is "seen
+	// this clearing" iff rackSeen[rack] == rackEpoch.
+	rackSeen  []uint32
+	rackEpoch uint32
 	// exact holds the reusable buffers of the breakpoint-driven engine
 	// (same single-threaded contract as pduLoad; the parallel candidate
 	// verification uses private per-worker buffers instead).
@@ -245,6 +261,10 @@ func (m *Market) SetSpot(pduSpot []float64, upsSpot float64) error {
 	m.cons.UPSSpot = upsSpot
 	return nil
 }
+
+// Options returns the market's clearing options (the Metrics and Audit
+// handles come along as shared pointers; callers treat them as read-only).
+func (m *Market) Options() Options { return m.opts }
 
 // Constraints returns a copy of the current constraints.
 func (m *Market) Constraints() Constraints {
@@ -395,19 +415,11 @@ func (m *Market) Clear(bids []Bid) (Result, error) {
 	if met != nil {
 		start = time.Now()
 	}
-	for _, b := range bids {
-		if b.Rack < 0 || b.Rack >= len(m.cons.RackHeadroom) {
-			if met != nil {
-				met.clearErrors.Inc()
-			}
-			return Result{}, fmt.Errorf("%w: bid references rack %d of %d", ErrConstraints, b.Rack, len(m.cons.RackHeadroom))
+	if err := m.validateBids(bids); err != nil {
+		if met != nil {
+			met.clearErrors.Inc()
 		}
-		if b.Fn == nil {
-			if met != nil {
-				met.clearErrors.Inc()
-			}
-			return Result{}, fmt.Errorf("%w: bid for rack %d has nil demand function", ErrBid, b.Rack)
-		}
+		return Result{}, err
 	}
 	var res Result
 	switch {
@@ -421,7 +433,43 @@ func (m *Market) Clear(bids []Bid) (Result, error) {
 	if met != nil {
 		met.observeClear(res, time.Since(start))
 	}
+	if aud := m.opts.Audit; aud != nil {
+		m.auditClear(aud, bids, res)
+	}
 	return res, nil
+}
+
+// validateBids rejects out-of-range racks, nil demand functions, and
+// duplicate racks. A rack gets exactly one demand function per slot (b_r in
+// the paper); two bids on the same rack would let the per-bid headroom
+// clamp in servedInto jointly exceed the rack's physical headroom (Eqn. 2).
+// Duplicate detection is epoch-marked over a reusable buffer, so steady-
+// state validation allocates nothing.
+func (m *Market) validateBids(bids []Bid) error {
+	if cap(m.rackSeen) < len(m.cons.RackHeadroom) {
+		m.rackSeen = make([]uint32, len(m.cons.RackHeadroom))
+	}
+	seen := m.rackSeen[:len(m.cons.RackHeadroom)]
+	m.rackEpoch++
+	if m.rackEpoch == 0 { // uint32 wrap: stale marks could alias, reset
+		for i := range seen {
+			seen[i] = 0
+		}
+		m.rackEpoch = 1
+	}
+	for _, b := range bids {
+		if b.Rack < 0 || b.Rack >= len(m.cons.RackHeadroom) {
+			return fmt.Errorf("%w: bid references rack %d of %d", ErrConstraints, b.Rack, len(m.cons.RackHeadroom))
+		}
+		if b.Fn == nil {
+			return fmt.Errorf("%w: bid for rack %d has nil demand function", ErrBid, b.Rack)
+		}
+		if seen[b.Rack] == m.rackEpoch {
+			return fmt.Errorf("%w: duplicate bid for rack %d (one demand function per rack per slot)", ErrBid, b.Rack)
+		}
+		seen[b.Rack] = m.rackEpoch
+	}
+	return nil
 }
 
 // breakpointable reports whether every bid's demand function exposes its
@@ -556,10 +604,18 @@ func (m *Market) materialize(res Result, bids []Bid, watts, revenue float64) Res
 }
 
 // VerifyFeasible confirms that an allocation satisfies Eqns. (2)–(4); the
-// simulator asserts this invariant every slot.
+// simulator asserts this invariant every slot. Grants are accumulated per
+// rack before the headroom comparison: several allocations for the same
+// rack (legal for callers outside Clear, e.g. MaxPerf) must jointly fit its
+// physical headroom, not just individually.
 func (m *Market) VerifyFeasible(allocs []Allocation) error {
 	for i := range m.pduLoad {
 		m.pduLoad[i] = 0
+	}
+	rackLoad := f64s(m.rackLoad, len(m.cons.RackHeadroom))
+	m.rackLoad = rackLoad
+	for i := range rackLoad {
+		rackLoad[i] = 0
 	}
 	total := 0.0
 	for _, a := range allocs {
@@ -569,9 +625,10 @@ func (m *Market) VerifyFeasible(allocs []Allocation) error {
 		if a.Watts < 0 {
 			return fmt.Errorf("core: rack %d allocated negative power %v", a.Rack, a.Watts)
 		}
-		if a.Watts > m.cons.RackHeadroom[a.Rack]+feasEps {
+		rackLoad[a.Rack] += a.Watts
+		if rackLoad[a.Rack] > m.cons.RackHeadroom[a.Rack]+feasEps {
 			return fmt.Errorf("core: rack %d allocated %v W beyond headroom %v W (Eqn. 2)",
-				a.Rack, a.Watts, m.cons.RackHeadroom[a.Rack])
+				a.Rack, rackLoad[a.Rack], m.cons.RackHeadroom[a.Rack])
 		}
 		m.pduLoad[m.cons.RackPDU[a.Rack]] += a.Watts
 		total += a.Watts

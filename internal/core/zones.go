@@ -207,13 +207,8 @@ func (m *Market) ClearWithExtras(bids []Bid) (Result, error) {
 	if m.extras == nil {
 		return m.Clear(bids)
 	}
-	for _, b := range bids {
-		if b.Rack < 0 || b.Rack >= len(m.cons.RackHeadroom) {
-			return Result{}, fmt.Errorf("%w: bid references rack %d of %d", ErrConstraints, b.Rack, len(m.cons.RackHeadroom))
-		}
-		if b.Fn == nil {
-			return Result{}, fmt.Errorf("%w: bid for rack %d has nil demand function", ErrBid, b.Rack)
-		}
+	if err := m.validateBids(bids); err != nil {
+		return Result{}, err
 	}
 	floor := m.opts.ReservePrice
 	if floor < 0 {
@@ -280,6 +275,9 @@ func (m *Market) ClearWithExtras(bids []Bid) (Result, error) {
 	serve := serveAt(bestPrice)
 	for i, b := range bids {
 		res.Allocations[i] = Allocation{Rack: b.Rack, Tenant: b.Tenant, Watts: serve(b)}
+	}
+	if aud := m.opts.Audit; aud != nil {
+		m.auditClear(aud, bids, res)
 	}
 	return res, nil
 }

@@ -67,7 +67,7 @@ func extPredictor(opt Options) (*Report, error) {
 				predictor.Observe(price)
 			}
 		}
-		res, e := sim.Run(sc, sim.RunOptions{Mode: sim.ModeSpotDC, Registry: opt.Registry})
+		res, e := sim.Run(sc, sim.RunOptions{Mode: sim.ModeSpotDC, Registry: opt.Registry, Audit: opt.Audit})
 		ewma = res
 		return e
 	})
@@ -286,7 +286,7 @@ func extFaults(opt Options) (*Report, error) {
 		}
 		sc.BidLossProb = probs[i-1]
 		sc.FaultSeed = opt.Seed + 99
-		res, e := sim.Run(sc, sim.RunOptions{Mode: sim.ModeSpotDC, Registry: opt.Registry})
+		res, e := sim.Run(sc, sim.RunOptions{Mode: sim.ModeSpotDC, Registry: opt.Registry, Audit: opt.Audit})
 		results[i-1] = res
 		return e
 	})

@@ -132,6 +132,12 @@ type Options struct {
 	// Wired by cmd/spotdc-experiments -metrics-addr; instrumentation never
 	// changes report contents.
 	Registry *metrics.Registry
+	// Audit attaches the conservation auditor to every simulation an
+	// experiment runs (sim.RunOptions.Audit): clearing invariants are
+	// re-verified inline and the books reconciled after each run, failing
+	// the experiment on any violation. Wired by cmd/spotdc-experiments
+	// -audit; auditing never changes report contents.
+	Audit bool
 }
 
 func (o Options) withDefaults() Options {

@@ -1,10 +1,72 @@
 package metrics
 
 import (
+	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sync"
 )
+
+// JournalSchemaV2 is the schema tag of a version-2 slot journal's header
+// line. A v2 journal opens with one JournalHeader line (distinguished by
+// its "schema" key) carrying the run's static configuration — topology,
+// market options, prediction factor, slot length — followed by one
+// SlotEvent line per slot whose cleared events capture the full slot
+// inputs (bids, reading, predicted capacities). Together they make a slot
+// deterministically replayable offline (cmd/spotdc-audit). A journal with
+// no header line is a v1 journal: outcome-only events, still readable, but
+// only the outcome-level invariants can be re-checked.
+const JournalSchemaV2 = "spotdc/slot-journal/v2"
+
+// JournalRack describes one rack in a v2 journal header.
+type JournalRack struct {
+	ID         string  `json:"id"`
+	Tenant     string  `json:"tenant,omitempty"`
+	PDU        int     `json:"pdu"`
+	Guaranteed float64 `json:"guaranteed"`
+	// Headroom is the rack's spot headroom P_r^R in watts.
+	Headroom float64 `json:"headroom"`
+}
+
+// JournalHeader is the first line of a v2 journal: everything static a
+// replay needs to rebuild the operator's market bit-for-bit.
+type JournalHeader struct {
+	// Schema is JournalSchemaV2.
+	Schema string `json:"schema"`
+	// UPSCapacity / PDUCapacity / Racks describe the power topology.
+	UPSCapacity float64       `json:"ups_capacity"`
+	PDUCapacity []float64     `json:"pdu_capacity"`
+	Racks       []JournalRack `json:"racks"`
+	// PriceStep / ReservePrice / Ration mirror the market options.
+	PriceStep    float64 `json:"price_step,omitempty"`
+	ReservePrice float64 `json:"reserve_price,omitempty"`
+	Ration       bool    `json:"ration,omitempty"`
+	// Algorithm is the configured engine ("auto", "scan" or "exact"); each
+	// event additionally records the engine that actually ran.
+	Algorithm string `json:"algorithm,omitempty"`
+	// UnderPrediction is the prediction's conservative scaling factor.
+	UnderPrediction float64 `json:"under_prediction,omitempty"`
+	// SlotHours is the billed slot length in hours.
+	SlotHours float64 `json:"slot_hours"`
+}
+
+// BidRecord is the journaled wire form of one piece-wise linear rack bid
+// (the four solicited parameters of Eqn. 5).
+type BidRecord struct {
+	Rack   int     `json:"rack"`
+	Tenant string  `json:"tenant,omitempty"`
+	DMax   float64 `json:"dmax"`
+	DMin   float64 `json:"dmin"`
+	QMin   float64 `json:"qmin"`
+	QMax   float64 `json:"qmax"`
+}
+
+// GrantRecord is one positive-watt allocation of a cleared slot.
+type GrantRecord struct {
+	Rack  int     `json:"rack"`
+	Watts float64 `json:"watts"`
+}
 
 // SlotEvent is one structured record of the per-slot event journal: the
 // operator's view of a market slot, serialized as one JSON line. The
@@ -39,16 +101,42 @@ type SlotEvent struct {
 	FaultDrops  int64 `json:"fault_drops,omitempty"`
 	FaultDelays int64 `json:"fault_delays,omitempty"`
 	FaultSevers int64 `json:"fault_severs,omitempty"`
+
+	// The remaining fields are the schema-v2 full-input capture, populated
+	// only for cleared slots (degraded slots may hold NaN-poisoned readings,
+	// which JSON cannot encode; their v1-style outcome record plus Err is
+	// the complete story). Together with the header they let
+	// internal/audit replay the slot through both clearing engines.
+
+	// Algorithm is the engine that produced the result ("scan" or "exact");
+	// Evaluations its demand-curve evaluation count.
+	Algorithm   string `json:"algorithm,omitempty"`
+	Evaluations int    `json:"evaluations,omitempty"`
+	// BidSet is the slot's collected bids in submission order.
+	BidSet []BidRecord `json:"bid_set,omitempty"`
+	// GrantSet lists the positive-watt allocations (Grants == len(GrantSet)).
+	GrantSet []GrantRecord `json:"grant_set,omitempty"`
+	// PDUSpot / UPSSpot are the predicted spot capacities cleared against.
+	PDUSpot []float64 `json:"pdu_spot,omitempty"`
+	UPSSpot float64   `json:"ups_spot,omitempty"`
+	// RackWatts / OtherPDUWatts are the power reading the prediction ran on.
+	RackWatts     []float64 `json:"rack_watts,omitempty"`
+	OtherPDUWatts []float64 `json:"other_pdu_watts,omitempty"`
+	// InputsTruncated marks a cleared slot whose bid set could not be fully
+	// captured (a demand function with no four-parameter wire form); replay
+	// falls back to outcome-level checks for it.
+	InputsTruncated bool `json:"inputs_truncated,omitempty"`
 }
 
 // Journal appends SlotEvents as JSONL to an io.Writer sink. It is safe for
 // concurrent use; each Append writes exactly one line. A nil *Journal is a
 // valid no-op sink, so callers wire it unconditionally.
 type Journal struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	n   int
-	err error
+	mu     sync.Mutex
+	enc    *json.Encoder
+	n      int
+	header bool
+	err    error
 }
 
 // NewJournal builds a journal over w (typically an *os.File opened by the
@@ -77,6 +165,41 @@ func (j *Journal) Append(ev SlotEvent) error {
 	return nil
 }
 
+// Header writes the v2 schema header as the journal's first line. It must
+// be called before any Append; a second call, or a call after events were
+// written, is rejected (a header mid-stream would corrupt the journal).
+// Write errors are sticky, exactly as for Append.
+func (j *Journal) Header(h JournalHeader) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	if j.header || j.n > 0 {
+		return fmt.Errorf("metrics: journal header must be the first line (have header=%v, %d events)", j.header, j.n)
+	}
+	h.Schema = JournalSchemaV2
+	if err := j.enc.Encode(h); err != nil {
+		j.err = err
+		return err
+	}
+	j.header = true
+	return nil
+}
+
+// HasHeader reports whether a v2 header was written.
+func (j *Journal) HasHeader() bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.header
+}
+
 // Events returns how many events were appended successfully.
 func (j *Journal) Events() int {
 	if j == nil {
@@ -95,4 +218,54 @@ func (j *Journal) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.err
+}
+
+// maxJournalLine bounds one journal line when reading: a 15,000-rack v2
+// event (rack_watts plus bid_set) runs to a few megabytes of JSON.
+const maxJournalLine = 64 << 20
+
+// ReadJournal parses a slot journal. The returned header is nil for a v1
+// journal (no header line); events are returned in file order. An unknown
+// schema tag or malformed line fails the whole read: a journal that cannot
+// be parsed completely cannot be audited.
+func ReadJournal(r io.Reader) (*JournalHeader, []SlotEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxJournalLine)
+	var header *JournalHeader
+	var events []SlotEvent
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if line == 1 {
+			var probe struct {
+				Schema string `json:"schema"`
+			}
+			if err := json.Unmarshal(raw, &probe); err != nil {
+				return nil, nil, fmt.Errorf("metrics: journal line 1: %w", err)
+			}
+			if probe.Schema != "" {
+				if probe.Schema != JournalSchemaV2 {
+					return nil, nil, fmt.Errorf("metrics: unsupported journal schema %q (want %q)", probe.Schema, JournalSchemaV2)
+				}
+				header = &JournalHeader{}
+				if err := json.Unmarshal(raw, header); err != nil {
+					return nil, nil, fmt.Errorf("metrics: journal header: %w", err)
+				}
+				continue
+			}
+		}
+		var ev SlotEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, nil, fmt.Errorf("metrics: journal line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("metrics: reading journal: %w", err)
+	}
+	return header, events, nil
 }

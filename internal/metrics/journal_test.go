@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -34,13 +35,98 @@ func TestJournalAppendsJSONLines(t *testing.T) {
 		if err := json.Unmarshal([]byte(line), &got); err != nil {
 			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
 		}
-		if got != events[i] {
+		if !reflect.DeepEqual(got, events[i]) {
 			t.Errorf("line %d round-trip = %+v, want %+v", i, got, events[i])
 		}
 	}
 	// The omitempty contract keeps clean-slot lines compact.
 	if strings.Contains(lines[0], "degraded") || strings.Contains(lines[0], "fault_drops") {
 		t.Errorf("clean slot carries degraded/fault fields: %s", lines[0])
+	}
+}
+
+func TestJournalV2RoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	hdr := JournalHeader{
+		UPSCapacity: 1000,
+		PDUCapacity: []float64{600, 600},
+		Racks: []JournalRack{
+			{ID: "S-1", Tenant: "Search", PDU: 0, Guaranteed: 200, Headroom: 60},
+			{ID: "O-1", Tenant: "Sort", PDU: 1, Guaranteed: 180, Headroom: 40},
+		},
+		PriceStep:       0.001,
+		UnderPrediction: 0.05,
+		SlotHours:       1.0 / 12,
+	}
+	if err := j.Header(hdr); err != nil {
+		t.Fatal(err)
+	}
+	if !j.HasHeader() {
+		t.Error("HasHeader() = false after Header")
+	}
+	// A second header, or one after events, must be rejected.
+	if err := j.Header(hdr); err == nil {
+		t.Error("second Header accepted")
+	}
+	events := []SlotEvent{
+		{Slot: 0, Price: 0.05, SoldWatts: 90, Revenue: 0.000375, Grants: 2, Bids: 2,
+			Algorithm: "exact", Evaluations: 7,
+			BidSet: []BidRecord{
+				{Rack: 0, Tenant: "Search", DMax: 0.09, DMin: 0.01, QMin: 10, QMax: 60},
+				{Rack: 1, Tenant: "Sort", DMax: 0.08, DMin: 0.02, QMin: 5, QMax: 40},
+			},
+			GrantSet:      []GrantRecord{{Rack: 0, Watts: 55}, {Rack: 1, Watts: 35}},
+			PDUSpot:       []float64{120, 80},
+			UPSSpot:       150,
+			RackWatts:     []float64{150, 135},
+			OtherPDUWatts: []float64{300, 280},
+		},
+		{Slot: 1, Degraded: true, Err: "poisoned reading", Bids: 2},
+	}
+	for _, ev := range events {
+		if err := j.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gotHdr, gotEvents, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotHdr == nil {
+		t.Fatal("ReadJournal returned nil header for a v2 journal")
+	}
+	wantHdr := hdr
+	wantHdr.Schema = JournalSchemaV2
+	if !reflect.DeepEqual(*gotHdr, wantHdr) {
+		t.Errorf("header round-trip = %+v, want %+v", *gotHdr, wantHdr)
+	}
+	if !reflect.DeepEqual(gotEvents, events) {
+		t.Errorf("events round-trip = %+v, want %+v", gotEvents, events)
+	}
+}
+
+func TestReadJournalV1(t *testing.T) {
+	// A headerless journal is v1: nil header, every line an event.
+	in := `{"slot":0,"price":0.05,"sold_watts":10,"revenue":0.0001,"grants":1,"bids":2,"clear_us":9}
+{"slot":1,"price":0,"sold_watts":0,"revenue":0,"grants":0,"bids":2,"degraded":true,"err":"x","clear_us":0}
+`
+	hdr, events, err := ReadJournal(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr != nil {
+		t.Errorf("v1 journal yielded header %+v", hdr)
+	}
+	if len(events) != 2 || events[0].Slot != 0 || !events[1].Degraded {
+		t.Errorf("events = %+v", events)
+	}
+}
+
+func TestReadJournalUnknownSchema(t *testing.T) {
+	if _, _, err := ReadJournal(strings.NewReader(`{"schema":"spotdc/slot-journal/v9"}`)); err == nil {
+		t.Error("unknown schema accepted")
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"spotdc/internal/core"
 	"spotdc/internal/power"
+	"spotdc/internal/stats"
 )
 
 // ErrReading reports a rack-power snapshot the operator refuses to clear
@@ -115,10 +116,15 @@ type Operator struct {
 	pricing Pricing
 	predict power.PredictOptions
 
-	spotRevenue    float64 // cumulative $
-	spotEnergyKWh  float64 // spot capacity actually sold × time
+	// Money and energy ledgers use compensated (Neumaier) accumulators:
+	// a long horizon folds millions of small per-slot terms into a large
+	// cumulative total, where naive += provably drops sub-ulp payments
+	// (see stats.Neumaier and TestNeumaierBeatsNaiveAt15000Racks).
+	spotRevenue    stats.Neumaier // cumulative $
+	spotEnergyKWh  stats.Neumaier // spot capacity actually sold × time
 	slots          int
-	payments       map[string]float64 // per-tenant cumulative $
+	payments       map[string]*stats.Neumaier // per-tenant cumulative $
+	unattributed   stats.Neumaier             // $ granted to allocations with no tenant name
 	lastSpot       power.Spot
 	emergencySlots int
 
@@ -187,7 +193,7 @@ func New(cfg Config) (*Operator, error) {
 		market:     mkt,
 		pricing:    pr,
 		predict:    cfg.Predict,
-		payments:   make(map[string]float64),
+		payments:   make(map[string]*stats.Neumaier),
 		pduSoldBuf: make([]float64, len(topo.PDUs)),
 		met:        cfg.Metrics,
 	}, nil
@@ -308,14 +314,29 @@ func (op *Operator) RunSlot(bids []core.Bid, reading power.Reading, slotHours fl
 		return SlotOutcome{}, fmt.Errorf("operator: clearing produced infeasible allocation: %w", err)
 	}
 	slotRevenue := res.RevenueRate * slotHours
-	op.spotRevenue += slotRevenue
-	op.spotEnergyKWh += res.TotalWatts / 1000 * slotHours
+	op.spotRevenue.Add(slotRevenue)
+	op.spotEnergyKWh.Add(res.TotalWatts / 1000 * slotHours)
 	op.slots++
 	op.lastSpot = spot
 	for _, a := range res.Allocations {
-		if a.Watts > 0 && a.Tenant != "" {
-			op.payments[a.Tenant] += res.Price * a.Watts / 1000 * slotHours
+		if a.Watts <= 0 {
+			continue
 		}
+		paid := res.Price * a.Watts / 1000 * slotHours
+		if a.Tenant == "" {
+			// Grants to anonymous bids still earn revenue; booking them
+			// explicitly keeps the per-tenant ledger reconcilable against
+			// SpotRevenue (previously this money silently vanished from the
+			// payment books).
+			op.unattributed.Add(paid)
+			continue
+		}
+		acc := op.payments[a.Tenant]
+		if acc == nil {
+			acc = &stats.Neumaier{}
+			op.payments[a.Tenant] = acc
+		}
+		acc.Add(paid)
 	}
 	if op.met != nil {
 		for i := range op.pduSoldBuf {
@@ -373,16 +394,56 @@ func (op *Operator) ObserveEmergencies(reading power.Reading, breakerTolerance f
 func (op *Operator) EmergencySlots() int { return op.emergencySlots }
 
 // SpotRevenue returns the cumulative spot revenue in $.
-func (op *Operator) SpotRevenue() float64 { return op.spotRevenue }
+func (op *Operator) SpotRevenue() float64 { return op.spotRevenue.Sum() }
 
 // SpotEnergyKWh returns the cumulative spot capacity sold in kWh.
-func (op *Operator) SpotEnergyKWh() float64 { return op.spotEnergyKWh }
+func (op *Operator) SpotEnergyKWh() float64 { return op.spotEnergyKWh.Sum() }
 
 // Slots returns how many slots the operator has run.
 func (op *Operator) Slots() int { return op.slots }
 
 // PaymentOf returns a tenant's cumulative spot payments in $.
-func (op *Operator) PaymentOf(tenant string) float64 { return op.payments[tenant] }
+func (op *Operator) PaymentOf(tenant string) float64 {
+	if acc := op.payments[tenant]; acc != nil {
+		return acc.Sum()
+	}
+	return 0
+}
+
+// UnattributedRevenue returns the cumulative $ granted to allocations that
+// carried no tenant name (anonymous direct-API bids).
+func (op *Operator) UnattributedRevenue() float64 { return op.unattributed.Sum() }
+
+// MarketOptions returns the market configuration the operator clears with.
+func (op *Operator) MarketOptions() core.Options { return op.market.Options() }
+
+// PredictOptions returns the operator's prediction configuration. The
+// per-slot SpotUsers scratch is omitted — it is transient state, not
+// configuration.
+func (op *Operator) PredictOptions() power.PredictOptions {
+	p := op.predict
+	p.SpotUsers = nil
+	return p
+}
+
+// ReconcileAccounts cross-checks the operator's books: the sum of every
+// tenant's payments plus unattributed revenue must equal cumulative spot
+// revenue. The tolerance covers re-association error only — both sides use
+// compensated accumulators, so a real accounting bug (a dropped or
+// double-billed line item) is far outside it.
+func (op *Operator) ReconcileAccounts() error {
+	var paid stats.Neumaier
+	for _, acc := range op.payments {
+		paid.Add(acc.Sum())
+	}
+	paid.Add(op.unattributed.Sum())
+	rev := op.spotRevenue.Sum()
+	if d := math.Abs(paid.Sum() - rev); d > 1e-9*(1+math.Abs(rev)) {
+		return fmt.Errorf("operator: payments %.12g $ (incl. %.12g unattributed) != spot revenue %.12g $ (Δ %g)",
+			paid.Sum(), op.unattributed.Sum(), rev, d)
+	}
+	return nil
+}
 
 // ProfitReport summarizes the Fig. 12 / Fig. 18 profit comparison over a
 // simulated horizon.
@@ -413,11 +474,11 @@ func (op *Operator) Profit(hours float64, extraLeasedWatts float64) ProfitReport
 	rep := ProfitReport{
 		Hours:          hours,
 		BaselineProfit: base,
-		SpotRevenue:    op.spotRevenue,
+		SpotRevenue:    op.spotRevenue.Sum(),
 		RackCapex:      rackCapex,
 	}
 	if base > 0 {
-		rep.ExtraProfitFraction = (op.spotRevenue - rackCapex) / base
+		rep.ExtraProfitFraction = (op.spotRevenue.Sum() - rackCapex) / base
 	}
 	return rep
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"spotdc/internal/core"
 	"spotdc/internal/metrics"
 	"spotdc/internal/operator"
 	"spotdc/internal/power"
@@ -175,6 +176,81 @@ func (l *MarketLoop) appendJournal(ev metrics.SlotEvent) {
 	_ = l.Journal.Append(ev)
 }
 
+// writeJournalHeader lazily writes the schema-v2 header as the journal's
+// first line: the static half of a deterministic replay (topology, market
+// options, prediction factor, slot length). Wired here rather than at
+// journal construction so the journal package stays free of operator and
+// power types.
+func (l *MarketLoop) writeJournalHeader() {
+	if l.Journal == nil || l.Journal.HasHeader() {
+		return
+	}
+	topo := l.Operator.Topology()
+	mo := l.Operator.MarketOptions()
+	h := metrics.JournalHeader{
+		UPSCapacity:     topo.UPSCapacity,
+		PDUCapacity:     make([]float64, len(topo.PDUs)),
+		Racks:           make([]metrics.JournalRack, len(topo.Racks)),
+		PriceStep:       mo.PriceStep,
+		ReservePrice:    mo.ReservePrice,
+		Ration:          mo.Ration,
+		Algorithm:       mo.Algorithm.String(),
+		UnderPrediction: l.Operator.PredictOptions().UnderPredictionFactor,
+		SlotHours:       l.Clock.SlotLen().Hours(),
+	}
+	for i, p := range topo.PDUs {
+		h.PDUCapacity[i] = p.Capacity
+	}
+	for i, r := range topo.Racks {
+		h.Racks[i] = metrics.JournalRack{
+			ID: r.ID, Tenant: r.Tenant, PDU: r.PDU,
+			Guaranteed: r.Guaranteed, Headroom: r.SpotHeadroom,
+		}
+	}
+	_ = l.Journal.Header(h)
+}
+
+// captureInputs fills the event's schema-v2 full-input fields for a cleared
+// slot: the bids, the reading (copied — harnesses reuse reading buffers
+// across slots), the predicted spot capacities, and the grants. Degraded
+// slots are not captured: their readings may hold NaN, which JSON cannot
+// encode, and their outcome (no grants, no revenue) is fully described by
+// the v1 fields plus Err.
+func captureInputs(ev *metrics.SlotEvent, bids []core.Bid, rd power.Reading, out operator.SlotOutcome) {
+	ev.Algorithm = out.Result.Algorithm.String()
+	ev.Evaluations = out.Result.Evaluations
+	ev.PDUSpot = append([]float64(nil), out.Spot.PDUWatts...)
+	ev.UPSSpot = out.Spot.UPSWatts
+	ev.RackWatts = append([]float64(nil), rd.RackWatts...)
+	ev.OtherPDUWatts = append([]float64(nil), rd.OtherPDUWatts...)
+	if len(bids) > 0 {
+		ev.BidSet = make([]metrics.BidRecord, 0, len(bids))
+		for _, b := range bids {
+			lb, ok := b.Fn.(core.LinearBid)
+			if !ok {
+				// A demand function with no four-parameter wire form cannot
+				// be journaled; mark the capture partial so replay falls
+				// back to outcome-level checks.
+				ev.BidSet = nil
+				ev.InputsTruncated = true
+				break
+			}
+			ev.BidSet = append(ev.BidSet, metrics.BidRecord{
+				Rack: b.Rack, Tenant: b.Tenant,
+				DMax: lb.DMax, DMin: lb.DMin, QMin: lb.QMin, QMax: lb.QMax,
+			})
+		}
+	}
+	if n := ev.Grants; n > 0 {
+		ev.GrantSet = make([]metrics.GrantRecord, 0, n)
+		for _, a := range out.Result.Allocations {
+			if a.Watts > 0 {
+				ev.GrantSet = append(ev.GrantSet, metrics.GrantRecord{Rack: a.Rack, Watts: a.Watts})
+			}
+		}
+	}
+}
+
 // RunSlots executes the loop for the given slots, sleeping until each
 // slot's boundary. For simulation-speed tests use a clock with millisecond
 // slots. It returns the number of slots that cleared successfully; slots
@@ -189,6 +265,7 @@ func (l *MarketLoop) RunSlots(fromSlot, slots int) (int, error) {
 		return 0, fmt.Errorf("%w: slots %d", ErrProtocol, slots)
 	}
 	slotHours := l.Clock.SlotLen().Hours()
+	l.writeJournalHeader()
 	cleared := 0
 	for slot := fromSlot; slot < fromSlot+slots; slot++ {
 		if wait := time.Until(l.Clock.StartOf(slot)); wait > 0 {
@@ -207,7 +284,8 @@ func (l *MarketLoop) RunSlots(fromSlot, slots int) (int, error) {
 			}
 			// Half-open: fall through and let this slot probe the market.
 		}
-		out, err := l.Operator.RunSlot(bids, l.Reading(slot), slotHours)
+		rd := l.Reading(slot)
+		out, err := l.Operator.RunSlot(bids, rd, slotHours)
 		if err != nil {
 			l.consecFails++
 			if l.MaxConsecutiveFailures > 0 && l.consecFails >= l.MaxConsecutiveFailures {
@@ -231,7 +309,7 @@ func (l *MarketLoop) RunSlots(fromSlot, slots int) (int, error) {
 					grants++
 				}
 			}
-			l.appendJournal(metrics.SlotEvent{
+			ev := metrics.SlotEvent{
 				Slot:        slot,
 				Price:       out.Result.Price,
 				SoldWatts:   out.Result.TotalWatts,
@@ -239,7 +317,9 @@ func (l *MarketLoop) RunSlots(fromSlot, slots int) (int, error) {
 				Grants:      grants,
 				Bids:        len(bids),
 				ClearMicros: out.ClearDuration.Microseconds(),
-			})
+			}
+			captureInputs(&ev, bids, rd, out)
+			l.appendJournal(ev)
 		}
 		if l.OnSlot != nil {
 			l.OnSlot(slot, out, len(bids))

@@ -173,20 +173,17 @@ func TestBidSubmissionAndCollection(t *testing.T) {
 	}
 }
 
-// awaitBids polls TakeBids until want bids for the slot arrive (submission
-// is asynchronous over TCP).
+// awaitBids waits until want bids are buffered for the slot (submission is
+// asynchronous over TCP), then drains them with a single TakeBids.
 func awaitBids(t *testing.T, s *Server, slot, want int) []core.Bid {
 	t.Helper()
 	deadlineAt := time.Now().Add(2 * time.Second)
-	var got []core.Bid
-	for time.Now().Before(deadlineAt) {
-		got = append(got, s.TakeBids(slot)...)
-		if len(got) >= want {
-			return got
-		}
+	for time.Now().Before(deadlineAt) && s.BufferedBids(slot) < want {
 		time.Sleep(5 * time.Millisecond)
 	}
-	return got
+	// Drain exactly once: TakeBids advances the market position, after which
+	// further submissions for the slot are rejected as stale.
+	return s.TakeBids(slot)
 }
 
 func TestBidResubmissionReplaces(t *testing.T) {

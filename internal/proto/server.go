@@ -31,6 +31,12 @@ type ServerOptions struct {
 	// map unpruned), anything at or before t is rejected as stale (it
 	// missed its market — the no-spot default applies). Default 16.
 	BidWindow int
+	// OwnerOf, if non-nil, names the tenant that owns a rack index. A hello
+	// claiming a rack owned by a different tenant is rejected outright:
+	// without this check any connected tenant could register (and bid spot
+	// capacity for) another tenant's racks. An empty owner leaves the rack
+	// unclaimed (any tenant may register it).
+	OwnerOf func(rackIdx int) string
 	// WrapConn, if non-nil, wraps every accepted connection — the
 	// fault-injection hook (see FaultInjector.Wrap).
 	WrapConn func(net.Conn) net.Conn
@@ -220,6 +226,12 @@ func (s *Server) handle(conn net.Conn) {
 			_ = codec.Send(Message{Type: TypeError, Detail: fmt.Sprintf("unknown rack %q", id)})
 			return
 		}
+		if s.opts.OwnerOf != nil {
+			if own := s.opts.OwnerOf(idx); own != "" && own != hello.Tenant {
+				_ = codec.Send(Message{Type: TypeError, Detail: fmt.Sprintf("rack %q belongs to tenant %s", id, own)})
+				return
+			}
+		}
 		sess.racks[id] = idx
 	}
 	var evict *session
@@ -306,12 +318,21 @@ func (s *Server) acceptBids(sess *session, msg Message) error {
 		return fmt.Errorf("bid for negative slot %d", msg.Slot)
 	}
 	converted := make([]core.Bid, 0, len(msg.Bids))
+	seen := make(map[int]bool, len(msg.Bids))
 	for _, rb := range msg.Bids {
 		idx, ok := sess.racks[rb.Rack]
 		if !ok {
 			s.met.bidRejected(rejectRack)
 			return fmt.Errorf("rack %q not registered for tenant %s", rb.Rack, sess.tenant)
 		}
+		// One demand function per rack per slot (Eqn. 5): a duplicate inside
+		// one message is ambiguous, so the whole message is rejected rather
+		// than silently keeping either copy.
+		if seen[idx] {
+			s.met.bidRejected(rejectInvalid)
+			return fmt.Errorf("duplicate bid for rack %q in slot %d message", rb.Rack, msg.Slot)
+		}
+		seen[idx] = true
 		lb := core.LinearBid{DMax: rb.DMax, DMin: rb.DMin, QMin: rb.QMin, QMax: rb.QMax}
 		if err := lb.Validate(); err != nil {
 			s.met.bidRejected(rejectInvalid)
@@ -325,14 +346,18 @@ func (s *Server) acceptBids(sess *session, msg Message) error {
 	// missed its market — the no-spot default applies — and a far-future
 	// bid would sit in the bid map unpruned, an unbounded-growth vector.
 	if s.haveTaken {
-		if msg.Slot < s.taken {
+		// At-or-before the market position is stale: slot s.taken has already
+		// been drained by TakeBids, so a late bid for it would sit in the bid
+		// map until pruned — and a reconnecting tenant re-submitting for the
+		// in-flight slot could otherwise double-enter the next drain.
+		if msg.Slot <= s.taken {
 			s.met.bidRejected(rejectStale)
-			return fmt.Errorf("stale bid for slot %d (market is past it; no spot capacity applies)", msg.Slot)
+			return fmt.Errorf("stale bid for slot %d (market is at slot %d; no spot capacity applies)", msg.Slot, s.taken)
 		}
 		if msg.Slot > s.taken+s.opts.BidWindow {
 			s.met.bidRejected(rejectWindow)
 			return fmt.Errorf("bid for slot %d outside window (accepting slots %d..%d)",
-				msg.Slot, s.taken, s.taken+s.opts.BidWindow)
+				msg.Slot, s.taken+1, s.taken+s.opts.BidWindow)
 		}
 	}
 	slotBids := s.bids[msg.Slot]
@@ -371,6 +396,19 @@ func (s *Server) TakeBids(slot int) []core.Bid {
 		}
 	}
 	return out
+}
+
+// BufferedBids returns how many bids are currently buffered for the slot
+// without draining them or advancing the market position (an observability
+// hook; callers that want the bids must still TakeBids exactly once).
+func (s *Server) BufferedBids(slot int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, bs := range s.bids[slot] {
+		n += len(bs)
+	}
+	return n
 }
 
 // PendingBidSlots returns how many future slots currently hold buffered

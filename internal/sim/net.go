@@ -58,8 +58,14 @@ type NetRunOptions struct {
 	Registry *metrics.Registry
 	// Journal, if non-nil, receives one structured SlotEvent JSON line per
 	// market slot (cleared or degraded), stamped with the cumulative
-	// injected-fault counts of both directions.
+	// injected-fault counts of both directions. The journal opens with a
+	// schema-v2 header, making the run deterministically replayable by
+	// internal/audit and cmd/spotdc-audit.
 	Journal *metrics.Journal
+	// Audit attaches a conservation auditor to the market core and, after
+	// the run, reconciles the operator's books; any violation fails the run
+	// with a descriptive error (see RunOptions.Audit).
+	Audit bool
 }
 
 func (o *NetRunOptions) setDefaults() {
@@ -156,6 +162,11 @@ func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
 		opMetrics = operator.NewMetrics(opts.Registry)
 		protoMetrics = proto.NewMetrics(opts.Registry)
 	}
+	var aud *core.Auditor
+	if opts.Audit {
+		aud = &core.Auditor{}
+		sc.MarketOptions.Audit = aud
+	}
 	op, err := operator.New(operator.Config{
 		Topology:      sc.Topo,
 		MarketOptions: sc.MarketOptions,
@@ -182,8 +193,12 @@ func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
 	}, proto.ServerOptions{
 		SessionTTL: opts.SessionTTL,
 		BidWindow:  opts.BidWindow,
-		WrapConn:   bcastInj.Wrap,
-		Metrics:    protoMetrics,
+		// Rack ownership: a tenant may only register (and bid for) its own
+		// racks — without this, any connected tenant could claim another's
+		// headroom.
+		OwnerOf:  func(i int) string { return topo.Racks[i].Tenant },
+		WrapConn: bcastInj.Wrap,
+		Metrics:  protoMetrics,
 		// Logf stays nil: faults are expected here, the server is quiet by
 		// default, and the metrics above carry the signal.
 	})
@@ -272,6 +287,14 @@ func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
 	res.BroadcastFaults = bcastInj.Stats()
 	res.ReapedSessions = srv.ReapedSessions()
 	res.SpotRevenue = op.SpotRevenue()
+	if opts.Audit {
+		if n := aud.Violations(); n > 0 {
+			return nil, fmt.Errorf("sim: audit found %d clearing violation(s): %w", n, aud.Err())
+		}
+		if err := op.ReconcileAccounts(); err != nil {
+			return nil, fmt.Errorf("sim: audit: %w", err)
+		}
+	}
 	return res, nil
 }
 

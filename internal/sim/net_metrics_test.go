@@ -2,7 +2,6 @@ package sim
 
 import (
 	"bytes"
-	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -102,16 +101,19 @@ func TestNetRunMetricsMatchFaultSchedule(t *testing.T) {
 		t.Errorf("client_reconnects_total = %v, want %d", gotReconnects, wantReconnects)
 	}
 
-	// The journal carries one line per slot, and its fault counters end at
-	// the injector totals.
-	lines := strings.Split(strings.TrimRight(journal.String(), "\n"), "\n")
-	if len(lines) != 220 {
-		t.Fatalf("journal has %d lines, want 220", len(lines))
-	}
-	var last metrics.SlotEvent
-	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+	// The journal opens with a schema-v2 header line, then carries one line
+	// per slot; its fault counters end at the injector totals.
+	hdr, events, err := metrics.ReadJournal(strings.NewReader(journal.String()))
+	if err != nil {
 		t.Fatal(err)
 	}
+	if hdr == nil || hdr.Schema != metrics.JournalSchemaV2 {
+		t.Fatalf("journal header = %+v, want schema %s", hdr, metrics.JournalSchemaV2)
+	}
+	if len(events) != 220 {
+		t.Fatalf("journal has %d events, want 220", len(events))
+	}
+	last := events[len(events)-1]
 	if last.Slot != 219 {
 		t.Errorf("last journal slot = %d, want 219", last.Slot)
 	}
@@ -125,11 +127,7 @@ func TestNetRunMetricsMatchFaultSchedule(t *testing.T) {
 			last.FaultDrops, last.FaultDelays, last.FaultSevers, wantDrops, wantDelays, wantSevers)
 	}
 	degradedLines := 0
-	for _, line := range lines {
-		var ev metrics.SlotEvent
-		if err := json.Unmarshal([]byte(line), &ev); err != nil {
-			t.Fatalf("journal line is not valid JSON: %v\n%s", err, line)
-		}
+	for _, ev := range events {
 		if ev.Degraded {
 			degradedLines++
 		}

@@ -8,6 +8,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"spotdc/internal/core"
@@ -218,6 +219,12 @@ type RunOptions struct {
 	// spotdc_sim_slots_total. Instrumentation never perturbs results: every
 	// observation is an atomic side effect of values already computed.
 	Registry *metrics.Registry
+	// Audit attaches a conservation auditor to the market core (see
+	// core.Auditor) and, after the run, reconciles the operator's books
+	// (payments vs. revenue) and the simulator's per-tenant payment mirror
+	// against the operator's ledger. Any violation fails the run with a
+	// descriptive error. Overhead is one O(bids) pass per slot.
+	Audit bool
 }
 
 // Run simulates the scenario.
@@ -234,6 +241,13 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 		opMetrics = operator.NewMetrics(opts.Registry)
 		slotsTotal = opts.Registry.Counter("spotdc_sim_slots_total",
 			"Simulated market slots completed, across all scenarios sharing the registry.")
+	}
+	var aud *core.Auditor
+	if opts.Audit {
+		// sc is a by-value copy (see the Metrics wiring above), so the
+		// auditor never leaks into the caller's scenario.
+		aud = &core.Auditor{}
+		sc.MarketOptions.Audit = aud
 	}
 	op, err := operator.New(operator.Config{
 		Topology:      sc.Topo,
@@ -469,7 +483,34 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 		}
 	}
 	res.SpotRevenue = op.SpotRevenue()
+	if opts.Audit {
+		if err := auditRun(aud, op, res); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
+}
+
+// auditRun applies the post-run conservation checks of RunOptions.Audit:
+// the inline auditor must be clean, the operator's books must reconcile,
+// and the simulator's per-tenant payment mirror must match the operator's
+// ledger (they are accumulated independently, so a drift means one of the
+// two billing paths dropped or double-counted a line item).
+func auditRun(aud *core.Auditor, op *operator.Operator, res *Result) error {
+	if n := aud.Violations(); n > 0 {
+		return fmt.Errorf("sim: audit found %d clearing violation(s): %w", n, aud.Err())
+	}
+	if err := op.ReconcileAccounts(); err != nil {
+		return fmt.Errorf("sim: audit: %w", err)
+	}
+	for name, ts := range res.Tenants {
+		want := op.PaymentOf(name)
+		if d := math.Abs(ts.Payment - want); d > 1e-9*(1+math.Abs(want)) {
+			return fmt.Errorf("sim: audit: tenant %s paid $%v in sim books, $%v in operator ledger (Δ %g)",
+				name, ts.Payment, want, d)
+		}
+	}
+	return nil
 }
 
 // agentSlot is one agent's per-slot scratch: the parallel phases write

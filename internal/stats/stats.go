@@ -14,25 +14,46 @@ import (
 // ErrEmpty is returned by statistics that are undefined on empty data.
 var ErrEmpty = errors.New("stats: empty data set")
 
+// Neumaier is a compensated (Kahan–Neumaier) summation accumulator: the
+// running compensation term recovers the low-order bits a naive += loop
+// discards, so totals stay accurate to ~1 ulp of the true sum regardless of
+// term count or magnitude spread. Revenue and energy aggregation use it
+// everywhere a 15,000-rack run folds tiny per-slot payments into large
+// cumulative totals (where naive summation measurably drifts). The zero
+// value is an empty sum; Neumaier is a plain value type, cheap to embed.
+type Neumaier struct {
+	sum, comp float64
+}
+
+// Add folds x into the sum.
+func (n *Neumaier) Add(x float64) {
+	t := n.sum + x
+	if math.Abs(n.sum) >= math.Abs(x) {
+		n.comp += (n.sum - t) + x
+	} else {
+		n.comp += (x - t) + n.sum
+	}
+	n.sum = t
+}
+
+// Sum returns the compensated total.
+func (n Neumaier) Sum() float64 { return n.sum + n.comp }
+
 // Mean returns the arithmetic mean of xs, or 0 for empty input.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	sum := 0.0
-	for _, x := range xs {
-		sum += x
-	}
-	return sum / float64(len(xs))
+	return Sum(xs) / float64(len(xs))
 }
 
-// Sum returns the sum of xs.
+// Sum returns the Neumaier-compensated sum of xs.
 func Sum(xs []float64) float64 {
-	s := 0.0
+	var n Neumaier
 	for _, x := range xs {
-		s += x
+		n.Add(x)
 	}
-	return s
+	return n.Sum()
 }
 
 // Min returns the minimum of xs. It returns ErrEmpty for empty input.

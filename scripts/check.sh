@@ -19,7 +19,12 @@
 #   6. the observability smoke: a short networked market scraped over
 #      live HTTP /metrics mid-run (make smoke-metrics), proving the
 #      scrape surface end to end on every check
-#   7. a one-iteration smoke of the Fig. 7(b) clearing benchmark, which
+#   7. the audit-replay gate: the seeded 220-slot networked fault run
+#      journals full slot inputs (schema v2) and the offline auditor
+#      (internal/audit) replays every cleared slot bit-identically
+#      through both clearing engines, re-checking the conservation
+#      invariants end to end (make audit-replay)
+#   8. a one-iteration smoke of the Fig. 7(b) clearing benchmark, which
 #      doubles as a regression tripwire for the allocation-free hot loop
 #      (the alloc budgets themselves are enforced by TestClearAllocBudget
 #      and, with instrumentation on, TestClearAllocBudgetInstrumented)
@@ -42,6 +47,8 @@ echo '== go test -race ./...'
 go test -race ./...
 echo '== smoke: /metrics scrape of a live networked market'
 go test -race -count=1 -run 'TestSmokeMetricsScrape' .
+echo '== audit replay: seeded journal through both engines'
+go test -race -count=1 -run 'TestGoldenNetRunJournalReplay' ./internal/audit/
 echo '== bench smoke: Fig. 7(b) clearing'
 go test -run '^$' -bench 'BenchmarkFig7bClearingTime' -benchtime 1x -benchmem .
 echo 'check: OK'

@@ -45,6 +45,7 @@ import (
 	"net/http"
 	"time"
 
+	"spotdc/internal/audit"
 	"spotdc/internal/billing"
 	"spotdc/internal/capping"
 	"spotdc/internal/config"
@@ -452,8 +453,24 @@ type (
 	// slot (MarketLoop.Journal).
 	SlotJournal = metrics.Journal
 	// SlotEvent is one journal line: price, volume, revenue, degradation
-	// and fault counters for a slot.
+	// and fault counters for a slot; schema-v2 events additionally carry
+	// the slot's full inputs for deterministic replay.
 	SlotEvent = metrics.SlotEvent
+	// SlotJournalHeader is the schema-v2 journal's first line: the static
+	// configuration (topology, market options, slot length) a replay needs.
+	SlotJournalHeader = metrics.JournalHeader
+
+	// Auditor is the market core's inline conservation checker (attach via
+	// MarketOptions.Audit): it re-verifies the settlement invariants —
+	// grant envelopes, hierarchical capacity, revenue arithmetic — after
+	// every clearing, allocation-free.
+	Auditor = core.Auditor
+	// AuditOptions tunes an offline journal check (see ReplayJournal).
+	AuditOptions = audit.Options
+	// AuditReport summarizes an offline journal check.
+	AuditReport = audit.Report
+	// AuditViolation is one failed invariant in an AuditReport.
+	AuditViolation = audit.Violation
 )
 
 // NewMetricsRegistry builds an empty metrics registry.
@@ -470,6 +487,21 @@ func NewMarketProtoMetrics(r *MetricsRegistry) *MarketProtoMetrics { return prot
 
 // NewSlotJournal builds a journal writing JSON lines to w.
 func NewSlotJournal(w io.Writer) *SlotJournal { return metrics.NewJournal(w) }
+
+// ReadSlotJournal parses a slot journal (v1 or v2); the header is nil for
+// a v1 journal.
+func ReadSlotJournal(r io.Reader) (*SlotJournalHeader, []SlotEvent, error) {
+	return metrics.ReadJournal(r)
+}
+
+// ReplayJournal reads a slot journal and re-verifies every invariant its
+// schema supports: outcome-level conservation for v1 journals, full
+// deterministic replay through the clearing engines for v2 (see
+// internal/audit and cmd/spotdc-audit). Violations are reported, not
+// returned as the error — inspect AuditReport.Err.
+func ReplayJournal(r io.Reader, opts AuditOptions) (*AuditReport, error) {
+	return audit.Replay(r, opts)
+}
 
 // EnableWorkerPoolMetrics instruments the process-wide parallel worker
 // pools (scenario fan-out, intra-slot agent parallelism) on r.
