@@ -10,6 +10,10 @@
 #   make smoke-metrics  observability smoke run: a short networked market
 #                       scraped over live HTTP /metrics mid-run, race
 #                       detector on
+#   make smoke-emergency emergency-loop smoke run: a seeded overload on a
+#                       networked market triggers spot reclamation, rack
+#                       PDU budget resets, tenant budget broadcasts and
+#                       recovery, race detector on
 #   make audit-replay   conservation audit smoke: the seeded 220-slot
 #                       networked run journals full slot inputs and the
 #                       offline auditor replays every cleared slot
@@ -20,7 +24,7 @@
 
 GO ?= go
 
-.PHONY: check test smoke-faults smoke-metrics audit-replay bench bench-clearing
+.PHONY: check test smoke-faults smoke-metrics smoke-emergency audit-replay bench bench-clearing
 
 check:
 	./scripts/check.sh
@@ -34,6 +38,9 @@ smoke-faults:
 
 smoke-metrics:
 	$(GO) test -race -count=1 -v -run 'TestSmokeMetricsScrape' .
+
+smoke-emergency:
+	$(GO) test -race -count=1 -v -run 'TestNetRunEmergency' ./internal/sim/
 
 audit-replay:
 	$(GO) test -race -count=1 -v -run 'TestGoldenNetRunJournalReplay' ./internal/audit/

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	spotdc-experiments [-seed N] [-long-slots N] [-scale-slots N] [-all] \
-//	    [-workers N] [-parallel] \
+//	    [-workers N] [-parallel] [-emergency] \
 //	    [-cpuprofile f] [-memprofile f] [-trace f] [-pprof-addr host:port] \
 //	    [id ...]
 //
@@ -62,6 +62,7 @@ func run() error {
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (e.g. localhost:9090)")
 	auditRuns := flag.Bool("audit", false, "re-verify clearing invariants and reconcile the books on every simulation (fails the run on any violation)")
+	emergency := flag.Bool("emergency", false, "run the ext-emergency experiment (shorthand for the ext-emergency ID)")
 	flag.Parse()
 
 	opt := experiments.Options{
@@ -80,6 +81,9 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "spotdc-experiments: serving metrics on http://%s/metrics\n", bound)
 	}
 	ids := flag.Args()
+	if *emergency && !*all {
+		ids = append(ids, "ext-emergency")
+	}
 	if !*all && len(ids) == 0 {
 		fmt.Println("available experiments:")
 		for _, id := range experiments.IDs() {

@@ -10,13 +10,23 @@
 // Usage:
 //
 //	spotdc-operator [-listen 127.0.0.1:7070] [-slot-seconds 10] [-slots N] \
-//	    [-metrics-addr host:port] [-events FILE] [-audit] [-v]
+//	    [-metrics-addr host:port] [-events FILE] [-audit] [-emergency] [-v]
 //
 // Observability: -metrics-addr serves Prometheus text metrics on
 // GET /metrics (plus /healthz) covering market clearings, operator slot
 // outcomes, protocol sessions and bid handling; -events appends one JSON
 // line per slot (price, volume, revenue, degradation) to FILE; -v enables
 // verbose per-slot and protocol diagnostics, which are silent by default.
+//
+// Emergency response: -emergency arms the Section III-C loop — every slot
+// the operator checks measured load against breaker capacity (ride-through
+// tolerance -breaker-tolerance); on an excursion it reclaims spot capacity
+// proportionally to granted spot, resets rack PDU budgets, broadcasts the
+// new budgets to connected tenants, and suspends spot sales at the affected
+// element until -emergency-recovery-slots consecutive healthy readings.
+// The demo's synthesized background trace stays below breaker capacity, so
+// excursions come from real telemetry in a production deployment; the flag
+// arms the loop and exercises the budget plumbing end to end.
 package main
 
 import (
@@ -43,6 +53,11 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (e.g. localhost:9090)")
 	eventsFile := flag.String("events", "", "append one JSON slot event per market slot to this file")
 	auditRun := flag.Bool("audit", false, "re-verify clearing invariants inline on every slot and log violations")
+	emergency := flag.Bool("emergency", false, "arm the emergency responder: reclaim spot capacity and reset rack PDU budgets on capacity excursions")
+	breakerTol := flag.Float64("breaker-tolerance", 0.05, "breaker ride-through tolerance fraction before an excursion is an emergency (with -emergency)")
+	escalation := flag.Float64("emergency-escalation", 0.5, "overload fraction beyond which guaranteed capacity is curtailed pro-rata (with -emergency)")
+	recoverySlots := flag.Int("emergency-recovery-slots", 2, "consecutive healthy slots before a suspended element resumes spot sales (with -emergency)")
+	resetDelay := flag.Duration("reset-delay", 0, "rack PDU budget-reset actuation delay (with -emergency)")
 	verbose := flag.Bool("v", false, "verbose: per-slot results and protocol diagnostics (default: quiet)")
 	flag.Parse()
 
@@ -110,11 +125,41 @@ func main() {
 		}}
 		mktOpts.Audit = auditor
 	}
-	op, err := spotdc.NewOperator(spotdc.OperatorConfig{
+	opCfg := spotdc.OperatorConfig{
 		Topology:      topo,
 		MarketOptions: mktOpts,
 		Metrics:       opMet,
-	})
+	}
+	// -emergency: one rack PDU per rack is the physical enforcement point;
+	// the responder's SetBudget hook actuates it (and logs the reset).
+	var units []*spotdc.RackPDU
+	if *emergency {
+		var rpm *spotdc.RackPDUMetrics
+		if reg != nil {
+			rpm = spotdc.NewRackPDUMetrics(reg)
+		}
+		units = make([]*spotdc.RackPDU, len(topo.Racks))
+		for i, r := range topo.Racks {
+			units[i], err = spotdc.NewRackPDU(spotdc.RackPDUConfig{
+				ID:          r.ID,
+				BudgetWatts: r.Guaranteed + r.SpotHeadroom,
+				ResetDelay:  *resetDelay,
+				Metrics:     rpm,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		opCfg.Emergency = &spotdc.ResponderConfig{
+			EscalationSeverity: *escalation,
+			RecoverySlots:      *recoverySlots,
+			SetBudget: func(rack int, watts float64) error {
+				log.Printf("emergency: rack %s budget reset to %.1f W", topo.Racks[rack].ID, watts)
+				return units[rack].SetBudget(watts)
+			},
+		}
+	}
+	op, err := spotdc.NewOperator(opCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -175,6 +220,15 @@ func main() {
 			for m := range others {
 				reading.OtherPDUWatts[m] = others[m].At(slot)
 			}
+			// With -emergency the rack PDU budget is the physical cap: a
+			// reclaimed rack cannot draw above its reset budget.
+			for i := range units {
+				w := 0.75 * topo.Racks[i].Guaranteed
+				if b := units[i].Budget(); w > b {
+					w = b
+				}
+				reading.RackWatts[i] = w
+			}
 			return reading
 		},
 		RackID: func(i int) string { return topo.Racks[i].ID },
@@ -194,6 +248,10 @@ func main() {
 		BreakerCooldownSlots:   *breakerCooldown,
 		Journal:                journal,
 	}
+	if *emergency {
+		loop.CheckEmergencies = true
+		loop.BreakerTolerance = *breakerTol
+	}
 	n := *slots
 	if n == 0 {
 		n = 1 << 30 // effectively forever
@@ -205,6 +263,10 @@ func main() {
 	if degraded := loop.SlotErrors(); degraded > 0 {
 		log.Printf("spotdc-operator: %d/%d slots cleared, %d degraded (breaker open: %v)",
 			cleared, n, degraded, loop.BreakerTripped())
+	}
+	if *emergency {
+		log.Printf("spotdc-operator: emergency responder: %d emergencies acted on, %.1f W spot reclaimed, %.1f W guaranteed curtailed (%d involuntary cuts)",
+			op.EmergenciesActed(), op.ReclaimedWatts(), op.GuaranteedCutWatts(), op.InvoluntaryCuts())
 	}
 	if err := journal.Err(); err != nil {
 		log.Printf("spotdc-operator: slot journal degraded: %v", err)

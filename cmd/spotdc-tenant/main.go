@@ -8,9 +8,16 @@
 //	spotdc-tenant -name Count-1 -rack O-1 [-connect 127.0.0.1:7070]
 //	              [-dmax 60] [-dmin 6] [-qmin 0.02] [-qmax 0.16]
 //	              [-slot-seconds 10] [-slots N] [-reconnect] [-v]
+//	              [-peak-watts 205 [-idle-watts 60]]
 //
 // Output is quiet by default — only connection establishment and failures
 // are logged; -v adds per-slot price/grant lines and reconnect diagnostics.
+//
+// Power capping: -peak-watts enables the tenant-side PI capping controller.
+// When the operator declares a capacity emergency and resets this rack's
+// power budget (Section III-C), the new budget is fed forward into the
+// controller, which logs the budget and the performance knob it settles to —
+// the hook a production deployment uses to drive RAPL/DVFS.
 package main
 
 import (
@@ -35,6 +42,8 @@ func main() {
 	reconnect := flag.Bool("reconnect", true, "auto-reconnect with backoff when the session drops")
 	backoff := flag.Duration("backoff", 200*time.Millisecond, "base reconnect backoff (doubles per attempt, with jitter)")
 	maxAttempts := flag.Int("max-attempts", 8, "reconnect attempts before giving up (-1 = unlimited)")
+	peakWatts := flag.Float64("peak-watts", 0, "enable the power-capping controller: rack peak draw at full performance (W); 0 = off")
+	idleWatts := flag.Float64("idle-watts", 0, "rack idle draw for the capping model (W, with -peak-watts)")
 	verbose := flag.Bool("v", false, "verbose: per-slot prices/grants and reconnect diagnostics (default: quiet)")
 	flag.Parse()
 
@@ -42,7 +51,22 @@ func main() {
 	if *verbose {
 		logf = log.Printf
 	}
-	client, err := spotdc.DialMarketOpts(*connect, *name, []string{*rack}, spotdc.MarketClientOptions{
+
+	// -peak-watts: emergency budget resets from the operator drive the
+	// capping controller. OnBudgetReset runs inside AwaitPrice on this
+	// goroutine, so the controller needs no locking.
+	var capper *spotdc.CapController
+	if *peakWatts > 0 {
+		var err error
+		capper, err = spotdc.NewCapController(spotdc.CapConfig{
+			Model:         spotdc.ServerModel{IdleWatts: *idleWatts, PeakWatts: *peakWatts},
+			InitialBudget: *peakWatts,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	copts := spotdc.MarketClientOptions{
 		Reconnect:   *reconnect,
 		BackoffBase: *backoff,
 		MaxAttempts: *maxAttempts,
@@ -50,7 +74,24 @@ func main() {
 		OnReconnect: func(attempt int, err error) {
 			logf("spotdc-tenant: reconnect attempt %d: %v", attempt, err)
 		},
-	})
+	}
+	if capper != nil {
+		copts.OnBudgetReset = func(slot int, budgets []spotdc.Grant) {
+			for _, b := range budgets {
+				if b.Rack != *rack {
+					continue
+				}
+				if err := capper.SetBudget(b.Watts); err != nil {
+					log.Printf("slot %d: budget reset to %.1f W rejected: %v", slot, b.Watts, err)
+					continue
+				}
+				watts, ticks := capper.Settle(1, 0.01, 50)
+				log.Printf("slot %d: EMERGENCY budget reset — capped to %.1f W (knob %.2f, settled at %.1f W in %d ticks)",
+					slot, b.Watts, capper.Knob(), watts, ticks)
+			}
+		}
+	}
+	client, err := spotdc.DialMarketOpts(*connect, *name, []string{*rack}, copts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -25,6 +25,7 @@ import (
 
 	"spotdc/internal/core"
 	"spotdc/internal/metrics"
+	"spotdc/internal/operator"
 	"spotdc/internal/power"
 	"spotdc/internal/stats"
 )
@@ -322,6 +323,17 @@ func replaySlot(rep *Report, rp *replayer, hdr *metrics.JournalHeader, ev metric
 			rep.violate(ev.Slot, "replay/predict", "PredictSpot failed: %v", err)
 			return
 		}
+		// Emergency suspensions: the journal records the prediction AFTER
+		// the operator zeroed suspended elements out of it, alongside which
+		// elements those were — apply the same zeroing before comparing.
+		for _, m := range ev.SuspendedPDUs {
+			if m >= 0 && m < len(spot.PDUWatts) {
+				spot.PDUWatts[m] = 0
+			}
+		}
+		if ev.SuspendedUPS {
+			spot.UPSWatts = 0
+		}
 		if spot.UPSWatts != ev.UPSSpot {
 			rep.violate(ev.Slot, "replay/predict", "UPS spot %v W, journal %v W", spot.UPSWatts, ev.UPSSpot)
 		}
@@ -330,10 +342,14 @@ func replaySlot(rep *Report, rp *replayer, hdr *metrics.JournalHeader, ev metric
 				rep.violate(ev.Slot, "replay/predict", "PDU %d spot %v W, journal %v W", i, w, ev.PDUSpot[i])
 			}
 		}
+		if hdr.EmergencyResponder {
+			replayReclaims(rep, rp, hdr, ev, rd)
+		}
 	}
 
 	// 2. Clearing: the recorded engine over the recorded bids and spot must
-	// reproduce the outcome bit for bit.
+	// reproduce the outcome bit for bit (the recorded spot already carries
+	// any suspension zeroing, so clearing replays unchanged).
 	algo, err := core.ParseAlgorithm(ev.Algorithm)
 	if err != nil || algo == core.AlgorithmAuto {
 		rep.violate(ev.Slot, "replay/engine", "unreplayable engine %q", ev.Algorithm)
@@ -377,7 +393,12 @@ func replaySlot(rep *Report, rp *replayer, hdr *metrics.JournalHeader, ev metric
 		}
 	}
 
-	// 3. Demand consistency: every replayed grant must be what the bid's
+	// 3. Emergency reclamation — checked inside the prediction block above:
+	// replayReclaims re-detects the slot's excursions from the recorded
+	// reading and re-plans them through operator.PlanReclaim, asserting the
+	// journaled reclaim events reproduce bit for bit.
+
+	// 4. Demand consistency: every replayed grant must be what the bid's
 	// demand function asks at the clearing price, clamped to headroom —
 	// except under rationing, which scales over-demanded PDUs down.
 	if !hdr.Ration {
@@ -397,7 +418,7 @@ func replaySlot(rep *Report, rp *replayer, hdr *metrics.JournalHeader, ev metric
 		}
 	}
 
-	// 4. Engine agreement: both engines must find (within tolerance) the
+	// 5. Engine agreement: both engines must find (within tolerance) the
 	// same revenue-optimal clearing — scan quantizes to the price grid, so
 	// exact may lead by a sliver, but a larger gap means one engine is
 	// wrong (the class of bug PR 1 fixed).
@@ -423,6 +444,66 @@ func replaySlot(rep *Report, rp *replayer, hdr *metrics.JournalHeader, ev metric
 		if d := math.Abs(exactRev - scanRev); d > revEps+agreeRel*scale {
 			rep.violate(ev.Slot, "agreement/revenue",
 				"engines disagree: exact $%v/h vs scan $%v/h (Δ %g > %v relative)", exactRev, scanRev, d, agreeRel)
+		}
+	}
+}
+
+// replayReclaims re-runs the responder's planning for one cleared slot:
+// re-detect excursions from the recorded reading with the header's breaker
+// tolerance, re-plan each through operator.PlanReclaim with the slot's own
+// grants as weights, and assert the journaled reclaim events match bit for
+// bit. PlanReclaim is a pure function and JSON round-trips float64 exactly,
+// so any difference is a real divergence.
+func replayReclaims(rep *Report, rp *replayer, hdr *metrics.JournalHeader, ev metrics.SlotEvent, rd power.Reading) {
+	ems := rp.topo.CheckEmergencies(rd, hdr.BreakerTolerance)
+	if len(ems) != len(ev.Reclaims) {
+		rep.violate(ev.Slot, "replay/reclaim",
+			"reading shows %d excursions, journal records %d reclaims", len(ems), len(ev.Reclaims))
+		return
+	}
+	if len(ems) == 0 {
+		return
+	}
+	// The responder weighted cuts by the slot's cleared grants.
+	grants := make([]float64, len(hdr.Racks))
+	for _, g := range ev.GrantSet {
+		if g.Rack >= 0 && g.Rack < len(grants) {
+			grants[g.Rack] += g.Watts
+		}
+	}
+	for i, em := range ems {
+		rec := ev.Reclaims[i]
+		plan := operator.PlanReclaim(rp.topo, em, rd.RackWatts, grants, hdr.EmergencyEscalation)
+		if plan.Level != rec.Level || plan.PDU != rec.PDU {
+			rep.violate(ev.Slot, "replay/reclaim", "excursion %d at %s/%d, journal %s/%d",
+				i, plan.Level, plan.PDU, rec.Level, rec.PDU)
+			continue
+		}
+		if plan.Load != rec.LoadWatts || plan.Capacity != rec.CapacityWatts {
+			rep.violate(ev.Slot, "replay/reclaim", "%s %d load/capacity %v/%v W, journal %v/%v W",
+				plan.Level, plan.PDU, plan.Load, plan.Capacity, rec.LoadWatts, rec.CapacityWatts)
+		}
+		if plan.SpotReclaimed != rec.SpotCutWatts || plan.GuaranteedReclaimed != rec.GuaranteedCutWatts ||
+			plan.Escalated != rec.Escalated {
+			rep.violate(ev.Slot, "replay/reclaim",
+				"%s %d cuts %v spot + %v guaranteed (escalated=%v), journal %v + %v (escalated=%v)",
+				plan.Level, plan.PDU, plan.SpotReclaimed, plan.GuaranteedReclaimed, plan.Escalated,
+				rec.SpotCutWatts, rec.GuaranteedCutWatts, rec.Escalated)
+		}
+		if len(plan.Targets) != len(rec.Budgets) {
+			rep.violate(ev.Slot, "replay/reclaim", "%s %d plans %d budget resets, journal %d",
+				plan.Level, plan.PDU, len(plan.Targets), len(rec.Budgets))
+			continue
+		}
+		for j, t := range plan.Targets {
+			b := rec.Budgets[j]
+			if t.Rack != b.Rack || t.BudgetWatts != b.BudgetWatts ||
+				t.SpotCut != b.SpotCut || t.GuaranteedCut != b.GuaranteedCut {
+				rep.violate(ev.Slot, "replay/reclaim",
+					"%s %d budget %d = rack %d → %v W (spot %v, guaranteed %v), journal rack %d → %v W (spot %v, guaranteed %v)",
+					plan.Level, plan.PDU, j, t.Rack, t.BudgetWatts, t.SpotCut, t.GuaranteedCut,
+					b.Rack, b.BudgetWatts, b.SpotCut, b.GuaranteedCut)
+			}
 		}
 	}
 }

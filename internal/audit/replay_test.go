@@ -134,6 +134,70 @@ func TestReplayFlagsTamperedJournal(t *testing.T) {
 	}
 }
 
+// TestReplayEmergencyJournal replays a networked run with the emergency
+// loop armed: the journaled reclaim plans, suspensions, and restores must
+// re-derive bit-identically from the slot inputs (PlanReclaim is pure), and
+// nudging a single journaled cut must surface as a violation.
+func TestReplayEmergencyJournal(t *testing.T) {
+	sc, err := sim.Testbed(sim.TestbedOptions{Seed: 17, Slots: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	journal := metrics.NewJournal(&buf)
+	res, err := sim.NetRun(sc, sim.NetRunOptions{
+		SlotLen: 20 * time.Millisecond,
+		Journal: journal,
+		Audit:   true,
+		Emergency: &sim.NetEmergencyOptions{
+			RecoverySlots:     2,
+			OverloadSlots:     []int{8, 9, 10},
+			OverloadRackWatts: 70,
+			OverloadPDU:       0,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EmergenciesActed == 0 {
+		t.Fatal("overload schedule never fired — the replay below is vacuous")
+	}
+
+	hdr, events, err := metrics.ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr == nil || !hdr.EmergencyResponder {
+		t.Fatalf("journal header = %+v, want responder on", hdr)
+	}
+	rep, err := audit.CheckJournal(hdr, events, audit.Options{EngineCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("emergency journal flagged: %v", rep.Violations)
+	}
+
+	tampered := false
+	for i := range events {
+		if len(events[i].Reclaims) > 0 {
+			events[i].Reclaims[0].SpotCutWatts += 1
+			tampered = true
+			break
+		}
+	}
+	if !tampered {
+		t.Fatal("no reclaim event journaled")
+	}
+	rep, err = audit.CheckJournal(hdr, events, audit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("tampered reclaim record passed the audit")
+	}
+}
+
 // TestCheckJournalV1OutcomeOnly asserts the backward-compat path: a v1
 // journal (no header) still gets outcome-level checks, and a degraded slot
 // that carries revenue is flagged — the billing-leak class of bug this PR

@@ -48,6 +48,21 @@ func (m ServerModel) Validate() error {
 	return nil
 }
 
+// Normalized returns the model with unset (zero) fields replaced by their
+// documented defaults: Alpha 1.5, MinKnob 0.2. New normalizes the model it
+// stores, so a Controller's model always carries explicit values — an
+// explicit zero is "unset" by contract (use a small epsilon for a
+// near-zero exponent or floor).
+func (m ServerModel) Normalized() ServerModel {
+	if m.Alpha == 0 {
+		m.Alpha = 1.5
+	}
+	if m.MinKnob == 0 {
+		m.MinKnob = 0.2
+	}
+	return m
+}
+
 func (m ServerModel) alpha() float64 {
 	if m.Alpha == 0 {
 		return 1.5
@@ -115,6 +130,12 @@ type Controller struct {
 	knob     float64
 	integral float64
 	budget   float64
+	// lastUtil is the most recent utilization reported to Tick; SetBudget
+	// uses it to feed-forward the knob. It starts at 1 (full load), the
+	// conservative guess: at full utilization the model predicts the
+	// deepest knob for a given budget, so a feed-forward jump from a stale
+	// utilization can only undershoot the budget, never overshoot it.
+	lastUtil float64
 }
 
 // Config parameterizes a Controller.
@@ -149,13 +170,17 @@ func New(cfg Config) (*Controller, error) {
 		ki = 0.0005
 	}
 	return &Controller{
-		model:  cfg.Model,
-		kp:     kp,
-		ki:     ki,
-		knob:   1,
-		budget: cfg.InitialBudget,
+		model:    cfg.Model.Normalized(),
+		kp:       kp,
+		ki:       ki,
+		knob:     1,
+		budget:   cfg.InitialBudget,
+		lastUtil: 1,
 	}, nil
 }
+
+// Model returns the controller's plant model with defaults normalized.
+func (c *Controller) Model() ServerModel { return c.model }
 
 // SetBudget updates the tracked power budget — called at every slot
 // boundary with guaranteed + granted spot capacity. The integrator resets
@@ -167,7 +192,13 @@ func (c *Controller) SetBudget(watts float64) error {
 	c.budget = watts
 	c.integral = 0
 	// Feed-forward: jump near the model's predicted knob so convergence
-	// takes a couple of ticks, not tens.
+	// takes a couple of ticks, not tens. The last reported utilization
+	// stands in for the current one; PI ticks correct the residual.
+	if ff, ok := c.model.KnobFor(c.lastUtil, watts); ok {
+		c.knob = ff
+	} else {
+		c.knob = c.model.minKnob()
+	}
 	return nil
 }
 
@@ -181,12 +212,14 @@ func (c *Controller) Knob() float64 { return c.knob }
 // current utilization; the controller adjusts and returns the new actuator
 // setting.
 func (c *Controller) Tick(measuredWatts, util float64) float64 {
+	c.lastUtil = clamp(util, 0, 1)
 	err := c.budget - measuredWatts // positive error: headroom to spend
 	c.integral += err
-	// Anti-windup: bound the integral's contribution to a full knob swing.
+	// Anti-windup: bound the integral's contribution to a full knob swing,
+	// i.e. |ki·integral| ≤ 1.
 	maxI := 1 / c.ki
 	c.integral = clamp(c.integral, -maxI, maxI)
-	c.knob = clamp(c.knob+c.kp*err+c.ki*c.integral*0.01, c.model.minKnob(), 1)
+	c.knob = clamp(c.knob+c.kp*err+c.ki*c.integral, c.model.minKnob(), 1)
 	// Feed-forward clamp: never command a knob the model predicts would
 	// overshoot the budget at current utilization.
 	if ff, ok := c.model.KnobFor(util, c.budget); ok && c.knob > ff {

@@ -186,6 +186,109 @@ func TestControllerImpossibleBudgetPinsMinKnob(t *testing.T) {
 	}
 }
 
+func TestNormalizedDefaults(t *testing.T) {
+	m := ServerModel{IdleWatts: 60, PeakWatts: 205}
+	n := m.Normalized()
+	if n.Alpha != 1.5 || n.MinKnob != 0.2 {
+		t.Errorf("Normalized() = %+v, want Alpha 1.5 MinKnob 0.2", n)
+	}
+	// Explicit values survive normalization.
+	if e := testModel().Normalized(); e != testModel() {
+		t.Errorf("Normalized() altered explicit fields: %+v", e)
+	}
+	// The controller stores the normalized model, so its behavior is
+	// identical whether the defaults were spelled out or left zero.
+	c, err := New(Config{Model: m, InitialBudget: 145})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Model(); got != n {
+		t.Errorf("controller model = %+v, want normalized %+v", got, n)
+	}
+}
+
+// Regression: SetBudget documents a feed-forward knob jump ("convergence
+// takes a couple of ticks, not tens") — a budget cut must land on the
+// model's predicted knob immediately, not crawl there on PI ticks.
+func TestSetBudgetFeedForwardSettlesFast(t *testing.T) {
+	c, err := New(Config{Model: testModel(), InitialBudget: 195})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ticks := c.Settle(1.0, 1.0, 200); ticks >= 200 {
+		t.Fatal("initial settle failed")
+	}
+	// Emergency reclaim: the budget is cut by 75 W. The feed-forward jump
+	// must put the draw within tolerance of the new budget with at most a
+	// couple of correction ticks.
+	if err := c.SetBudget(120); err != nil {
+		t.Fatal(err)
+	}
+	watts, ticks := c.Settle(1.0, 1.0, 200)
+	if watts > 121 {
+		t.Errorf("settled at %v W over the 120 W budget", watts)
+	}
+	if ticks > 2 {
+		t.Errorf("budget cut took %d ticks to settle, want a feed-forward jump (≤2)", ticks)
+	}
+	// An impossible budget pins the deepest cap immediately.
+	if err := c.SetBudget(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Knob(); got != testModel().MinKnob {
+		t.Errorf("knob after impossible budget = %v, want min knob", got)
+	}
+}
+
+// Regression: Tick's anti-windup clamps the integral at 1/ki ("a full knob
+// swing") — the applied term must be ki·integral, so the clamped integral
+// really contributes up to one full knob swing, not 1/100th of one.
+func TestTickIntegralGainMatchesAntiWindupClamp(t *testing.T) {
+	c, err := New(Config{Model: testModel(), InitialBudget: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget above peak: the feed-forward clamp resolves to knob 1 and
+	// stays out of the way; the knob move is pure PI arithmetic.
+	c.Tick(500, 1.0) // err = −200
+	want := clamp(1+c.kp*(-200)+c.ki*(-200), testModel().MinKnob, 1)
+	if got := c.Knob(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("knob after one tick = %v, want %v (kp·err + ki·integral applied in full)", got, want)
+	}
+	// Persistent error winds the integral to the clamp; its applied
+	// contribution is then exactly one full knob swing.
+	for i := 0; i < 50; i++ {
+		c.Tick(500, 1.0)
+	}
+	if got := math.Abs(c.ki * c.integral); math.Abs(got-1) > 1e-12 {
+		t.Errorf("clamped integral contributes %v knob, want exactly 1 (full swing)", got)
+	}
+}
+
+// The PI loop must absorb plant/model mismatch: with a plant drawing a
+// constant 25 W above the model's prediction, the controller still settles
+// the measured draw onto the budget, and the integral stays within the
+// anti-windup bound throughout.
+func TestControllerEliminatesSteadyStateModelError(t *testing.T) {
+	m := testModel()
+	c, err := New(Config{Model: m, InitialBudget: 145})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bias = 25.0
+	watts := m.Power(1.0, c.Knob()) + bias
+	for tick := 0; tick < 400; tick++ {
+		c.Tick(watts, 1.0)
+		if math.Abs(c.integral) > 1/c.ki+1e-9 {
+			t.Fatalf("tick %d: integral %v outside anti-windup bound ±%v", tick, c.integral, 1/c.ki)
+		}
+		watts = m.Power(1.0, c.Knob()) + bias
+	}
+	if math.Abs(watts-145) > 1 {
+		t.Errorf("steady-state draw %v W with model bias, want within 1 W of the 145 W budget", watts)
+	}
+}
+
 // Property: wherever the controller settles, it never exceeds the budget
 // by more than the tolerance unless even the deepest cap cannot fit.
 func TestQuickControllerRespectsBudget(t *testing.T) {

@@ -430,7 +430,7 @@ func TestReportHelpers(t *testing.T) {
 
 func TestAblationAndExtensionRegistry(t *testing.T) {
 	want := []string{"abl-pricing", "abl-granularity", "abl-ration", "abl-step",
-		"ext-predictor", "ext-bestresponse", "ext-faults", "ext-batch", "headline"}
+		"ext-predictor", "ext-bestresponse", "ext-faults", "ext-batch", "ext-emergency", "headline"}
 	have := map[string]bool{}
 	for _, id := range IDs() {
 		have[id] = true
@@ -470,6 +470,37 @@ func TestExtBatchSpotCutsTJob(t *testing.T) {
 	tSpot := num(t, rep.Rows[1][2])
 	if tSpot >= tCapped {
 		t.Errorf("spot T_job %v not below capped %v", tSpot, tCapped)
+	}
+}
+
+func TestExtEmergencyBoundsExcursions(t *testing.T) {
+	rep, err := Run("ext-emergency", fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	off, on := rep.Rows[0], rep.Rows[1]
+	offSlots, onSlots := num(t, off[1]), num(t, on[1])
+	offRun, onRun := num(t, off[2]), num(t, on[2])
+	if offSlots == 0 {
+		t.Fatal("overload schedule never fired with the responder off")
+	}
+	if offRun < 5 {
+		t.Errorf("responder-off longest excursion %v, want the full 5-slot window", offRun)
+	}
+	if acted := num(t, on[3]); acted == 0 {
+		t.Error("responder never acted")
+	}
+	if onRun > 2 {
+		t.Errorf("responder-on longest excursion %v, want ≤ 2", onRun)
+	}
+	if onSlots >= offSlots {
+		t.Errorf("responder did not reduce emergency slots: %v vs %v", onSlots, offSlots)
+	}
+	if gcut := num(t, on[5]); gcut != 0 {
+		t.Errorf("guaranteed capacity cut: %v W", gcut)
 	}
 }
 

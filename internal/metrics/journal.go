@@ -49,6 +49,15 @@ type JournalHeader struct {
 	UnderPrediction float64 `json:"under_prediction,omitempty"`
 	// SlotHours is the billed slot length in hours.
 	SlotHours float64 `json:"slot_hours"`
+	// BreakerTolerance is the circuit-breaker excursion tolerance the loop
+	// checked emergencies with (only stamped when emergency checking ran).
+	BreakerTolerance float64 `json:"breaker_tolerance,omitempty"`
+	// EmergencyResponder marks a run whose operator planned reclamation on
+	// excursions; EmergencyEscalation is its guaranteed-curtailment
+	// severity threshold. Together with BreakerTolerance they let the
+	// audit layer replay each slot's reclaim events deterministically.
+	EmergencyResponder  bool    `json:"emergency_responder,omitempty"`
+	EmergencyEscalation float64 `json:"emergency_escalation,omitempty"`
 }
 
 // BidRecord is the journaled wire form of one piece-wise linear rack bid
@@ -66,6 +75,36 @@ type BidRecord struct {
 type GrantRecord struct {
 	Rack  int     `json:"rack"`
 	Watts float64 `json:"watts"`
+}
+
+// BudgetRecord is one rack's budget reset inside a ReclaimRecord.
+type BudgetRecord struct {
+	Rack        int     `json:"rack"`
+	BudgetWatts float64 `json:"budget_watts"`
+	// SpotCut is the watts reclaimed from draw above the rack's guarantee;
+	// GuaranteedCut the watts curtailed out of the guarantee (escalation).
+	SpotCut       float64 `json:"spot_cut,omitempty"`
+	GuaranteedCut float64 `json:"guaranteed_cut,omitempty"`
+}
+
+// ReclaimRecord journals one emergency reclamation: the excursion and the
+// budget resets the responder issued for it. A pure function of the slot's
+// reading, grants, and the header's responder parameters, so the audit
+// layer replays it bit-for-bit.
+type ReclaimRecord struct {
+	// Level is "PDU" or "UPS"; PDU indexes the topology's PDUs (-1 = UPS).
+	Level string `json:"level"`
+	PDU   int    `json:"pdu"`
+	// LoadWatts / CapacityWatts echo the excursion.
+	LoadWatts     float64 `json:"load_watts"`
+	CapacityWatts float64 `json:"capacity_watts"`
+	// SpotCutWatts / GuaranteedCutWatts total the plan's cuts by class.
+	SpotCutWatts       float64 `json:"spot_cut_watts"`
+	GuaranteedCutWatts float64 `json:"guaranteed_cut_watts,omitempty"`
+	// Escalated marks a plan that curtailed guaranteed capacity.
+	Escalated bool `json:"escalated,omitempty"`
+	// Budgets lists the per-rack resets in ascending rack order.
+	Budgets []BudgetRecord `json:"budgets,omitempty"`
 }
 
 // SlotEvent is one structured record of the per-slot event journal: the
@@ -126,6 +165,22 @@ type SlotEvent struct {
 	// captured (a demand function with no four-parameter wire form); replay
 	// falls back to outcome-level checks for it.
 	InputsTruncated bool `json:"inputs_truncated,omitempty"`
+
+	// Emergency-responder capture (only populated when the run's header has
+	// EmergencyResponder set; all empty on healthy slots, so journals from
+	// responder-less runs are byte-identical to before).
+
+	// SuspendedPDUs / SuspendedUPS record the suspensions applied to THIS
+	// slot's prediction: the listed elements' spot capacity was zeroed
+	// before clearing. Replay applies the same zeroing before comparing.
+	SuspendedPDUs []int `json:"suspended_pdus,omitempty"`
+	SuspendedUPS  bool  `json:"suspended_ups,omitempty"`
+	// Reclaims lists the reclamations planned from this slot's reading.
+	Reclaims []ReclaimRecord `json:"reclaims,omitempty"`
+	// RestoredPDUs / RestoredUPS record elements whose suspension ended
+	// this slot (budgets restored to guaranteed + headroom).
+	RestoredPDUs []int `json:"restored_pdus,omitempty"`
+	RestoredUPS  bool  `json:"restored_ups,omitempty"`
 }
 
 // Journal appends SlotEvents as JSONL to an io.Writer sink. It is safe for

@@ -32,6 +32,14 @@ type Metrics struct {
 	slotsBreaker  *metrics.Counter
 	emergencies   *metrics.Counter
 
+	// Emergency-responder instrumentation (emergency.go): excursions acted
+	// on, watts reclaimed via budget resets, resets that invaded guaranteed
+	// capacity, and the suspension-to-recovery duration in slots.
+	emergenciesActed *metrics.Counter
+	reclaimedWatts   *metrics.Gauge // cumulative W, monotone (Add only)
+	involuntaryCuts  *metrics.Counter
+	timeToSafe       *metrics.Histogram
+
 	predictedVec *metrics.GaugeVec
 	soldVec      *metrics.GaugeVec
 	predictedUPS *metrics.Gauge
@@ -61,6 +69,15 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 		slotsBreaker:  slots.With(slotStatusBreakerOpen),
 		emergencies: r.Counter("spotdc_operator_emergency_slots_total",
 			"Slots with at least one observed capacity excursion (handled by power capping, counted here)."),
+		emergenciesActed: r.Counter("spotdc_operator_emergencies_acted_total",
+			"Capacity excursions the emergency responder planned reclamation for (spot users capped first, Section III-C)."),
+		reclaimedWatts: r.Gauge("spotdc_operator_reclaimed_watts_total",
+			"Cumulative watts of rack-budget cuts issued by the emergency responder (spot plus escalated guaranteed)."),
+		involuntaryCuts: r.Counter("spotdc_operator_involuntary_cuts_total",
+			"Budget resets that curtailed a rack below its guaranteed capacity (escalation only — zero means guaranteed tenants were never touched)."),
+		timeToSafe: r.Histogram("spotdc_operator_emergency_recovery_slots",
+			"Slots from the start of an element's spot-sale suspension until readings stayed healthy and budgets were restored.",
+			metrics.ExpBuckets(1, 2, 10)),
 		predictedVec: r.GaugeVec("spotdc_operator_spot_predicted_watts",
 			"Predicted available spot capacity entering the clearing, by level (ups, pdu0, pdu1, ...).",
 			"level"),
@@ -119,6 +136,22 @@ func (om *Metrics) observeSlot(spot power.Spot, soldByPDU []float64, soldTotal, 
 		om.margin.Set(0)
 	}
 	om.revenue.Add(slotRevenue)
+}
+
+// observeReclaim records one planned reclamation.
+func (om *Metrics) observeReclaim(plan ReclaimPlan) {
+	om.emergenciesActed.Inc()
+	om.reclaimedWatts.Add(plan.SpotReclaimed + plan.GuaranteedReclaimed)
+	for _, t := range plan.Targets {
+		if t.GuaranteedCut > 0 {
+			om.involuntaryCuts.Inc()
+		}
+	}
+}
+
+// observeRecovery records a completed suspension's duration in slots.
+func (om *Metrics) observeRecovery(slots float64) {
+	om.timeToSafe.Observe(slots)
 }
 
 // ObserveDegradedSlot records a slot that fell back to the zero-price

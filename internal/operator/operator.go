@@ -136,6 +136,11 @@ type Operator struct {
 	spotUsers  map[int]bool
 	pduSoldBuf []float64
 
+	// responder is non-nil only when Config.Emergency enables the
+	// emergency response loop (emergency.go); nil keeps every slot path
+	// bit-identical to the count-only behavior.
+	responder *responderState
+
 	met *Metrics
 }
 
@@ -156,6 +161,12 @@ type Config struct {
 	// the slot path stays allocation-free. The market core's own
 	// instrumentation is configured separately via MarketOptions.Metrics.
 	Metrics *Metrics
+	// Emergency, if non-nil, enables the emergency responder: on a
+	// capacity excursion ObserveEmergencies plans spot reclamation, issues
+	// budget resets, and suspends spot sales at the affected element until
+	// readings recover (Section III-C, Fig. 6). Nil keeps the historical
+	// count-only behavior, bit-identically.
+	Emergency *ResponderConfig
 }
 
 // New builds an Operator, deriving the market's rack constraints from the
@@ -188,6 +199,13 @@ func New(cfg Config) (*Operator, error) {
 	if cfg.Metrics != nil {
 		cfg.Metrics.bind(len(topo.PDUs))
 	}
+	var responder *responderState
+	if cfg.Emergency != nil {
+		if err := cfg.Emergency.validate(); err != nil {
+			return nil, err
+		}
+		responder = newResponderState(*cfg.Emergency, topo)
+	}
 	return &Operator{
 		topo:       topo,
 		market:     mkt,
@@ -195,6 +213,7 @@ func New(cfg Config) (*Operator, error) {
 		predict:    cfg.Predict,
 		payments:   make(map[string]*stats.Neumaier),
 		pduSoldBuf: make([]float64, len(topo.PDUs)),
+		responder:  responder,
 		met:        cfg.Metrics,
 	}, nil
 }
@@ -299,6 +318,23 @@ func (op *Operator) RunSlot(bids []core.Bid, reading power.Reading, slotHours fl
 	if err != nil {
 		return SlotOutcome{}, err
 	}
+	if rs := op.responder; rs != nil {
+		// Suspended elements sell no spot capacity until they recover
+		// (Section III-C: the market pauses at an overloaded PDU). The
+		// zeroed prediction is what gets journaled, so the applied
+		// suspensions are recorded alongside for exact replay.
+		rs.appliedPDU = rs.appliedPDU[:0]
+		rs.appliedUPS = rs.suspendedUPS
+		for m, suspended := range rs.suspendedPDU {
+			if suspended {
+				spot.PDUWatts[m] = 0
+				rs.appliedPDU = append(rs.appliedPDU, m)
+			}
+		}
+		if rs.suspendedUPS {
+			spot.UPSWatts = 0
+		}
+	}
 	if err := op.market.SetSpot(spot.PDUWatts, spot.UPSWatts); err != nil {
 		return SlotOutcome{}, err
 	}
@@ -318,6 +354,18 @@ func (op *Operator) RunSlot(bids []core.Bid, reading power.Reading, slotHours fl
 	op.spotEnergyKWh.Add(res.TotalWatts / 1000 * slotHours)
 	op.slots++
 	op.lastSpot = spot
+	if rs := op.responder; rs != nil {
+		// Remember the slot's granted spot per rack: PlanReclaim cuts spot
+		// users proportionally to these weights.
+		for i := range rs.lastGrants {
+			rs.lastGrants[i] = 0
+		}
+		for _, a := range res.Allocations {
+			if a.Watts > 0 && a.Rack >= 0 && a.Rack < len(rs.lastGrants) {
+				rs.lastGrants[a.Rack] += a.Watts
+			}
+		}
+	}
 	for _, a := range res.Allocations {
 		if a.Watts <= 0 {
 			continue
@@ -376,8 +424,10 @@ func (op *Operator) MaxPerfSlot(reqs []core.MaxPerfRequest, reading power.Readin
 }
 
 // ObserveEmergencies records capacity excursions for the slot's realized
-// reading (handled by separate power-capping mechanisms, as in the paper;
-// the operator only counts them here).
+// reading. Without Config.Emergency it only counts them (capping is left
+// to out-of-band mechanisms, as the paper assumes); with the responder
+// enabled it additionally plans reclamation, pushes budget resets, and
+// manages spot-sale suspension/recovery — see emergency.go.
 func (op *Operator) ObserveEmergencies(reading power.Reading, breakerTolerance float64) []power.Emergency {
 	em := op.topo.CheckEmergencies(reading, breakerTolerance)
 	if len(em) > 0 {
@@ -385,6 +435,9 @@ func (op *Operator) ObserveEmergencies(reading power.Reading, breakerTolerance f
 		if op.met != nil {
 			op.met.emergencies.Inc()
 		}
+	}
+	if op.responder != nil {
+		op.respondEmergencies(em, reading)
 	}
 	return em
 }

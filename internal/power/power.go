@@ -11,6 +11,7 @@ package power
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrTopology reports an inconsistent data-center description.
@@ -242,12 +243,20 @@ type Emergency struct {
 	ID string
 	// Load and Capacity are the measured power and the limit in watts.
 	Load, Capacity float64
+	// PDU is the index into Topology.PDUs of the overloaded PDU, or -1 for
+	// a UPS-level emergency. CheckEmergencies fills it so responders can
+	// map the excursion back to the racks that feed the element.
+	PDU int
 }
 
 // OverloadFraction returns how far past capacity the element is, e.g. 0.03
-// for a 3% excursion.
+// for a 3% excursion. Any load on an element with no capacity at all is an
+// unbounded excursion, not a healthy one.
 func (e Emergency) OverloadFraction() float64 {
-	if e.Capacity == 0 {
+	if e.Capacity <= 0 {
+		if e.Load > 0 {
+			return math.Inf(1)
+		}
 		return 0
 	}
 	return e.Load/e.Capacity - 1
@@ -266,12 +275,12 @@ func (t *Topology) CheckEmergencies(rd Reading, breakerTolerance float64) []Emer
 	for m, p := range t.PDUs {
 		load := t.PDUPower(rd, m)
 		if load > p.Capacity*(1+breakerTolerance) {
-			out = append(out, Emergency{Level: "PDU", ID: p.ID, Load: load, Capacity: p.Capacity})
+			out = append(out, Emergency{Level: "PDU", ID: p.ID, Load: load, Capacity: p.Capacity, PDU: m})
 		}
 	}
 	ups := t.UPSPower(rd)
 	if ups > t.UPSCapacity*(1+breakerTolerance) {
-		out = append(out, Emergency{Level: "UPS", ID: "UPS", Load: ups, Capacity: t.UPSCapacity})
+		out = append(out, Emergency{Level: "UPS", ID: "UPS", Load: ups, Capacity: t.UPSCapacity, PDU: -1})
 	}
 	return out
 }

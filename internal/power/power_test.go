@@ -263,9 +263,15 @@ func TestUPSEmergency(t *testing.T) {
 }
 
 func TestEmergencyZeroCapacity(t *testing.T) {
+	// Any load on a zero-capacity element is an unbounded excursion; it
+	// must rank above every finite overload, never read as "no overload".
 	e := Emergency{Load: 10, Capacity: 0}
-	if e.OverloadFraction() != 0 {
-		t.Error("zero capacity should not divide by zero")
+	if f := e.OverloadFraction(); !math.IsInf(f, 1) {
+		t.Errorf("OverloadFraction with zero capacity = %v, want +Inf", f)
+	}
+	idle := Emergency{Load: 0, Capacity: 0}
+	if f := idle.OverloadFraction(); f != 0 {
+		t.Errorf("OverloadFraction with zero load and capacity = %v, want 0", f)
 	}
 }
 

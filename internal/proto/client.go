@@ -47,6 +47,14 @@ type ClientOptions struct {
 	// Metrics, if non-nil, counts restored sessions on the shared protocol
 	// handle set (spotdc_proto_client_reconnects_total).
 	Metrics *Metrics
+	// OnBudgetReset, if non-nil, observes emergency budget resets pushed by
+	// the operator (Section III-C): budgets carries the new per-rack power
+	// budgets in watts for this tenant's racks. It runs on the goroutine
+	// driving AwaitPrice, which keeps waiting for the price afterwards; the
+	// tenant drives its capping controller to the reduced budget here. Nil
+	// leaves budget resets ignored (operator-side enforcement still caps
+	// the rack).
+	OnBudgetReset func(slot int, budgets []Grant)
 	// Logf, if non-nil, narrates redial attempts. Default silent:
 	// reconnects are expected operation under churn and are surfaced via
 	// Metrics and OnReconnect.
@@ -274,6 +282,13 @@ func (c *Client) AwaitPrice(slot int, timeout time.Duration) (price float64, gra
 		case msg.Type == TypePrice && msg.Slot < slot:
 			continue // stale broadcast
 		case msg.Type == TypeHeartBeat:
+			continue
+		case msg.Type == TypeBudgetReset:
+			// Emergency budget resets arrive inside the price wait (the
+			// operator pushes them just before the slot's price broadcast).
+			if c.opts.OnBudgetReset != nil && len(msg.Grants) > 0 {
+				c.opts.OnBudgetReset(msg.Slot, msg.Grants)
+			}
 			continue
 		case msg.Type == TypeError && msg.Slot == slot:
 			return 0, nil, fmt.Errorf("%w: %s", ErrProtocol, msg.Detail)

@@ -105,6 +105,18 @@ type MarketLoop struct {
 	// FaultInjector.Stats; the hook indirection keeps the metrics package
 	// free of protocol types).
 	FaultCounts func() (drops, delays, severs int64)
+	// CheckEmergencies runs the operator's emergency observation on every
+	// cleared slot's reading (Section III-C): excursions are counted, and —
+	// when the operator has a responder configured — reclamation plans are
+	// issued and their budget resets pushed to the owning tenants *before*
+	// the price broadcast, so a tenant caps within the same slot it is
+	// granted in. Degraded slots are skipped (their readings may be
+	// corrupt). Off by default: the historical loop never observed
+	// emergencies over the network.
+	CheckEmergencies bool
+	// BreakerTolerance is the excursion fraction breakers ride through
+	// (e.g. 0.05); only used when CheckEmergencies is set.
+	BreakerTolerance float64
 
 	// Internal degradation state; read them only after RunSlots returns
 	// (or from OnSlot/OnSlotError callbacks, which run on the loop
@@ -139,6 +151,8 @@ func (l *MarketLoop) validate() error {
 		return fmt.Errorf("proto: MaxConsecutiveFailures %d negative", l.MaxConsecutiveFailures)
 	case l.BreakerCooldownSlots < 0:
 		return fmt.Errorf("proto: BreakerCooldownSlots %d negative", l.BreakerCooldownSlots)
+	case l.BreakerTolerance < 0:
+		return fmt.Errorf("proto: BreakerTolerance %v negative", l.BreakerTolerance)
 	}
 	return nil
 }
@@ -198,6 +212,13 @@ func (l *MarketLoop) writeJournalHeader() {
 		UnderPrediction: l.Operator.PredictOptions().UnderPredictionFactor,
 		SlotHours:       l.Clock.SlotLen().Hours(),
 	}
+	if l.CheckEmergencies {
+		h.BreakerTolerance = l.BreakerTolerance
+		if rc, on := l.Operator.EmergencyResponder(); on {
+			h.EmergencyResponder = true
+			h.EmergencyEscalation = rc.EscalationSeverity
+		}
+	}
 	for i, p := range topo.PDUs {
 		h.PDUCapacity[i] = p.Capacity
 	}
@@ -251,6 +272,64 @@ func captureInputs(ev *metrics.SlotEvent, bids []core.Bid, rd power.Reading, out
 	}
 }
 
+// captureEmergency fills the event's responder fields: the suspensions
+// applied to this slot's prediction (RunSlot), and the reclaims/restores
+// the responder issued from this slot's reading (ObserveEmergencies). All
+// empty when the responder is off, keeping such journals byte-identical.
+func captureEmergency(ev *metrics.SlotEvent, op *operator.Operator) {
+	pdus, ups := op.AppliedSuspensions()
+	if len(pdus) > 0 {
+		ev.SuspendedPDUs = append([]int(nil), pdus...)
+	}
+	ev.SuspendedUPS = ups
+	for _, plan := range op.LastReclaims() {
+		rec := metrics.ReclaimRecord{
+			Level: plan.Level, PDU: plan.PDU,
+			LoadWatts: plan.Load, CapacityWatts: plan.Capacity,
+			SpotCutWatts: plan.SpotReclaimed, GuaranteedCutWatts: plan.GuaranteedReclaimed,
+			Escalated: plan.Escalated,
+		}
+		for _, t := range plan.Targets {
+			rec.Budgets = append(rec.Budgets, metrics.BudgetRecord{
+				Rack: t.Rack, BudgetWatts: t.BudgetWatts,
+				SpotCut: t.SpotCut, GuaranteedCut: t.GuaranteedCut,
+			})
+		}
+		ev.Reclaims = append(ev.Reclaims, rec)
+	}
+	for _, plan := range op.LastRestores() {
+		if plan.PDU < 0 {
+			ev.RestoredUPS = true
+		} else {
+			ev.RestoredPDUs = append(ev.RestoredPDUs, plan.PDU)
+		}
+	}
+}
+
+// collectBudgetResets merges the responder's latest reclaims and restores
+// into per-rack budgets for one budget_reset broadcast. Reclaims are
+// inserted first and restores after, matching the order the operator
+// applied its own hooks in, so the tenant-side and operator-side budgets
+// for a rack always agree.
+func collectBudgetResets(op *operator.Operator) map[int]float64 {
+	reclaims, restores := op.LastReclaims(), op.LastRestores()
+	if len(reclaims) == 0 && len(restores) == 0 {
+		return nil
+	}
+	budgets := make(map[int]float64)
+	for _, plan := range reclaims {
+		for _, t := range plan.Targets {
+			budgets[t.Rack] = t.BudgetWatts
+		}
+	}
+	for _, plan := range restores {
+		for _, t := range plan.Targets {
+			budgets[t.Rack] = t.BudgetWatts
+		}
+	}
+	return budgets
+}
+
 // RunSlots executes the loop for the given slots, sleeping until each
 // slot's boundary. For simulation-speed tests use a clock with millisecond
 // slots. It returns the number of slots that cleared successfully; slots
@@ -301,6 +380,18 @@ func (l *MarketLoop) RunSlots(fromSlot, slots int) (int, error) {
 			l.Operator.Metrics().SetBreakerOpen(false)
 		}
 		l.tripped = false
+		emergencyChecked := false
+		if l.CheckEmergencies {
+			// Observe the slot's realized reading; with a responder this
+			// plans reclamation and applies operator-side budget resets.
+			// Tenant-side resets go out before the price broadcast so a
+			// capping tenant reacts within the same slot.
+			l.Operator.ObserveEmergencies(rd, l.BreakerTolerance)
+			emergencyChecked = true
+			if budgets := collectBudgetResets(l.Operator); len(budgets) > 0 {
+				l.Server.BroadcastBudgetReset(slot, budgets)
+			}
+		}
 		l.Server.Broadcast(slot, out.Result.Price, out.Result.Allocations, l.RackID)
 		if l.Journal != nil {
 			grants := 0
@@ -319,6 +410,9 @@ func (l *MarketLoop) RunSlots(fromSlot, slots int) (int, error) {
 				ClearMicros: out.ClearDuration.Microseconds(),
 			}
 			captureInputs(&ev, bids, rd, out)
+			if emergencyChecked {
+				captureEmergency(&ev, l.Operator)
+			}
 			l.appendJournal(ev)
 		}
 		if l.OnSlot != nil {

@@ -36,6 +36,12 @@ const (
 	TypeBid MsgType = "bid"
 	// TypePrice broadcasts the clearing price and per-rack grants.
 	TypePrice MsgType = "price"
+	// TypeBudgetReset pushes emergency rack-budget resets to the owning
+	// tenants (Section III-C, Fig. 6): Grants carries the new per-rack
+	// budgets in watts, which the tenant's capping controller must track.
+	// Clients that predate the message skip it (unknown types are ignored
+	// in the price wait loop), falling back to operator-side enforcement.
+	TypeBudgetReset MsgType = "budget_reset"
 	// TypeError reports a rejected message.
 	TypeError MsgType = "error"
 )
@@ -71,7 +77,8 @@ type Message struct {
 	Bids []RackBid `json:"bids,omitempty"`
 	// Price is the clearing price in $/kW·h (price).
 	Price float64 `json:"price,omitempty"`
-	// Grants carries the per-rack spot allocations (price).
+	// Grants carries the per-rack spot allocations (price), or the new
+	// per-rack power budgets in watts (budget_reset).
 	Grants []Grant `json:"grants,omitempty"`
 	// Detail carries the error text (error).
 	Detail string `json:"detail,omitempty"`

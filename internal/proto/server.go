@@ -444,6 +444,44 @@ func (s *Server) Broadcast(slot int, price float64, allocs []core.Allocation, ra
 	}
 }
 
+// BroadcastBudgetReset pushes emergency budget resets to the tenants that
+// own the affected racks: each session receives one budget_reset message
+// carrying only its own racks' new budgets (watts), routed through the
+// rack registrations from its hello. Sessions owning none of the reset
+// racks receive nothing; send failures are skipped exactly like price
+// broadcasts — the operator-side rack PDU budget still enforces the cap.
+func (s *Server) BroadcastBudgetReset(slot int, budgets map[int]float64) {
+	if len(budgets) == 0 {
+		return
+	}
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		var grants []Grant
+		// sess.racks is written only during the hello handshake, before the
+		// session is published, so reading it here is race-free.
+		for wireID, idx := range sess.racks {
+			if watts, ok := budgets[idx]; ok {
+				grants = append(grants, Grant{Rack: wireID, Watts: watts})
+			}
+		}
+		if len(grants) == 0 {
+			continue
+		}
+		msg := Message{Type: TypeBudgetReset, Tenant: sess.tenant, Slot: slot, Grants: grants}
+		if err := sess.send(msg); err != nil {
+			s.met.broadcast(false)
+			s.logf("proto: budget reset to %s failed: %v", sess.tenant, err)
+		} else {
+			s.met.broadcast(true)
+		}
+	}
+}
+
 // Sessions returns the names of currently connected tenants.
 func (s *Server) Sessions() []string {
 	s.mu.Lock()

@@ -18,8 +18,34 @@ import (
 	"spotdc/internal/operator"
 	"spotdc/internal/power"
 	"spotdc/internal/proto"
+	"spotdc/internal/rackpdu"
 	"spotdc/internal/tenant"
 )
+
+// NetEmergencyOptions arms the emergency loop end to end over the wire:
+// the operator's market loop checks every cleared reading for excursions,
+// the responder plans reclamation and pushes budget resets into emulated
+// rack PDUs (the authoritative physical cap on each rack's draw), budget
+// resets are broadcast to the affected tenants, and spot sales at the
+// element stay suspended until readings recover.
+type NetEmergencyOptions struct {
+	// BreakerTolerance is the excursion fraction breakers ride through
+	// (default: the scenario's, or 0.05 — the testbed breakers').
+	BreakerTolerance float64
+	// EscalationSeverity and RecoverySlots configure the responder (see
+	// operator.ResponderConfig; zeros take its defaults).
+	EscalationSeverity float64
+	RecoverySlots      int
+	// OverloadSlots lists the slots during which every rack under
+	// OverloadPDU draws OverloadRackWatts beyond its 75%-of-guarantee
+	// reference — the injected excursion the responder must contain.
+	OverloadSlots     []int
+	OverloadRackWatts float64
+	OverloadPDU       int
+	// ResetDelay emulates the rack PDUs' budget-reset firmware latency
+	// (see rackpdu.Config; the AP8632 sustains 20+ resets/s).
+	ResetDelay time.Duration
+}
 
 // NetRunOptions configures a networked scenario run.
 type NetRunOptions struct {
@@ -66,6 +92,10 @@ type NetRunOptions struct {
 	// the run, reconciles the operator's books; any violation fails the run
 	// with a descriptive error (see RunOptions.Audit).
 	Audit bool
+	// Emergency, if non-nil, arms the emergency loop (see
+	// NetEmergencyOptions). Nil keeps the networked run bit-identical to a
+	// harness without the emergency subsystem.
+	Emergency *NetEmergencyOptions
 }
 
 func (o *NetRunOptions) setDefaults() {
@@ -94,6 +124,9 @@ type NetTenantStats struct {
 	NoSpotSlots int
 	// Reconnects counts restored connections.
 	Reconnects int
+	// BudgetResets counts emergency budget-reset broadcasts this tenant
+	// received and applied (Emergency runs only).
+	BudgetResets int
 	// DialFailed marks a tenant that never established its session.
 	DialFailed bool
 }
@@ -120,6 +153,17 @@ type NetResult struct {
 	ReapedSessions int
 	// SpotRevenue is the operator's cumulative spot revenue in $.
 	SpotRevenue float64
+	// EmergencySlots counts cleared slots whose reading exceeded breaker
+	// tolerance somewhere in the hierarchy (Emergency runs only); the
+	// responder totals below mirror the operator's accessors.
+	EmergencySlots     int
+	EmergenciesActed   int
+	ReclaimedWatts     float64
+	GuaranteedCutWatts float64
+	InvoluntaryCuts    int
+	// BudgetResets totals the budget resets applied across all emulated
+	// rack PDUs (reclaims and restores alike).
+	BudgetResets int
 	// Tenants maps tenant name to its networked stats.
 	Tenants map[string]*NetTenantStats
 }
@@ -167,13 +211,48 @@ func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
 		aud = &core.Auditor{}
 		sc.MarketOptions.Audit = aud
 	}
-	op, err := operator.New(operator.Config{
-		Topology:      sc.Topo,
+	topo := sc.Topo
+	opCfg := operator.Config{
+		Topology:      topo,
 		MarketOptions: sc.MarketOptions,
 		Pricing:       sc.Pricing,
 		Predict:       sc.Predict,
 		Metrics:       opMetrics,
-	})
+	}
+	// With the emergency loop armed, every rack gets an emulated intelligent
+	// PDU: the responder's budget resets land there, and the unit's budget is
+	// the authoritative physical cap on what the rack can draw.
+	var units []*rackpdu.PDU
+	if em := opts.Emergency; em != nil {
+		if em.OverloadPDU < 0 || em.OverloadPDU >= len(topo.PDUs) {
+			return nil, fmt.Errorf("sim: emergency OverloadPDU %d of %d", em.OverloadPDU, len(topo.PDUs))
+		}
+		var rpm *rackpdu.Metrics
+		if opts.Registry != nil {
+			rpm = rackpdu.NewMetrics(opts.Registry)
+		}
+		units = make([]*rackpdu.PDU, len(topo.Racks))
+		for i, r := range topo.Racks {
+			unit, err := rackpdu.New(rackpdu.Config{
+				ID:          r.ID,
+				BudgetWatts: r.Guaranteed + r.SpotHeadroom,
+				ResetDelay:  em.ResetDelay,
+				Metrics:     rpm,
+			})
+			if err != nil {
+				return nil, err
+			}
+			units[i] = unit
+		}
+		opCfg.Emergency = &operator.ResponderConfig{
+			EscalationSeverity: em.EscalationSeverity,
+			RecoverySlots:      em.RecoverySlots,
+			SetBudget: func(rack int, budgetWatts float64) error {
+				return units[rack].SetBudget(budgetWatts)
+			},
+		}
+	}
+	op, err := operator.New(opCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +266,6 @@ func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
 	}
 	bidInj.SetMetrics(protoMetrics)
 	bcastInj.SetMetrics(protoMetrics)
-	topo := sc.Topo
 	srv, err := proto.NewServerOpts("127.0.0.1:0", func(id string) (int, bool) {
 		return topo.RackByID(id)
 	}, proto.ServerOptions{
@@ -219,6 +297,12 @@ func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
 	for _, s := range opts.ErrorSlots {
 		errorSlot[s] = true
 	}
+	surgeSlot := make(map[int]bool)
+	if opts.Emergency != nil {
+		for _, s := range opts.Emergency.OverloadSlots {
+			surgeSlot[s] = true
+		}
+	}
 	rackWatts := make([]float64, len(topo.Racks))
 	for i, r := range topo.Racks {
 		rackWatts[i] = 0.75 * r.Guaranteed
@@ -233,6 +317,20 @@ func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
 		}
 		for m := range otherWatts {
 			otherWatts[m] = sc.OtherLoad[m].At(slot)
+		}
+		if em := opts.Emergency; em != nil {
+			// Offered load (reference + surge), capped at the rack PDU's
+			// current budget — the physical enforcement of a reclaim plan.
+			for i, r := range topo.Racks {
+				w := 0.75 * r.Guaranteed
+				if surgeSlot[slot] && r.PDU == em.OverloadPDU {
+					w += em.OverloadRackWatts
+				}
+				if b := units[i].Budget(); w > b {
+					w = b
+				}
+				rackWatts[i] = w
+			}
 		}
 		return power.Reading{RackWatts: rackWatts, OtherPDUWatts: otherWatts}
 	}
@@ -261,6 +359,17 @@ func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
 		},
 		OnSlotError: func(slot int, err error) {},
 	}
+	if em := opts.Emergency; em != nil {
+		tol := em.BreakerTolerance
+		if tol == 0 {
+			tol = sc.BreakerTolerance
+		}
+		if tol == 0 {
+			tol = 0.05
+		}
+		loop.CheckEmergencies = true
+		loop.BreakerTolerance = tol
+	}
 
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -287,6 +396,16 @@ func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
 	res.BroadcastFaults = bcastInj.Stats()
 	res.ReapedSessions = srv.ReapedSessions()
 	res.SpotRevenue = op.SpotRevenue()
+	if opts.Emergency != nil {
+		res.EmergencySlots = op.EmergencySlots()
+		res.EmergenciesActed = op.EmergenciesActed()
+		res.ReclaimedWatts = op.ReclaimedWatts()
+		res.GuaranteedCutWatts = op.GuaranteedCutWatts()
+		res.InvoluntaryCuts = op.InvoluntaryCuts()
+		for _, u := range units {
+			res.BudgetResets += u.Resets()
+		}
+	}
 	if opts.Audit {
 		if n := aud.Violations(); n > 0 {
 			return nil, fmt.Errorf("sim: audit found %d clearing violation(s): %w", n, aud.Err())
@@ -317,6 +436,13 @@ func runNetTenant(a tenant.Agent, topo *power.Topology, addr string, clock *prot
 		HandshakeTimeout: 2 * opts.SlotLen,
 		Dialer:           inj.Dial,
 		Metrics:          pm,
+	}
+	if opts.Emergency != nil {
+		// Count delivered emergency budget resets; the callback runs on this
+		// goroutine (inside AwaitPrice), so no locking is needed.
+		copts.OnBudgetReset = func(slot int, budgets []proto.Grant) {
+			st.BudgetResets++
+		}
 	}
 	// The initial dial itself may be hit by injected faults; retry a few
 	// times before conceding the tenant never joins the market.

@@ -11,6 +11,7 @@ import (
 	"math"
 	"time"
 
+	"spotdc/internal/capping"
 	"spotdc/internal/core"
 	"spotdc/internal/metrics"
 	"spotdc/internal/operator"
@@ -83,6 +84,10 @@ type Scenario struct {
 	// slot's price (0 when no market ran); lets Hint implementations build
 	// online predictors (e.g. an EWMA) from realized prices.
 	PriceFeedback func(slot int, price float64)
+	// Emergency, if non-nil, injects capacity excursions and (optionally)
+	// enables the operator's emergency responder. Nil keeps the run
+	// bit-identical to a simulator without the emergency subsystem.
+	Emergency *EmergencyScenario
 	// BidLossProb drops each agent's bid submission with this probability,
 	// emulating the Section III-C communication-loss exception: an affected
 	// tenant silently falls back to no spot capacity for the slot.
@@ -99,6 +104,52 @@ type Scenario struct {
 	// merge (bid order, rack readings, slot series, billing) happens
 	// serially in agent order either way.
 	Parallel bool
+}
+
+// EmergencyScenario parameterizes the simulator's emergency-loop harness:
+// a deterministic overload schedule that pushes one PDU past its breaker
+// tolerance, and the operator-side responder that reclaims spot capacity by
+// power-capping the overloading racks (Section III-C).
+type EmergencyScenario struct {
+	// Responder enables the operator's emergency loop: reclaim planning,
+	// spot-sale suspension, and budget restoration (operator.ResponderConfig).
+	// Off, excursions are only counted — the historical behavior — so an
+	// A/B pair isolates exactly the responder's effect.
+	Responder bool
+	// EscalationSeverity and RecoverySlots configure the responder (see
+	// operator.ResponderConfig; zeros take its defaults).
+	EscalationSeverity float64
+	RecoverySlots      int
+	// OverloadEvery > 0 injects a recurring surge: during the last
+	// OverloadDuration slots of every OverloadEvery-slot period, each rack
+	// under OverloadPDU draws OverloadRackWatts extra (uncapped tenant
+	// sprinting — the overload the responder exists to contain).
+	OverloadEvery     int
+	OverloadDuration  int
+	OverloadRackWatts float64
+	OverloadPDU       int
+}
+
+func (e *EmergencyScenario) validate(topo *power.Topology) error {
+	switch {
+	case e.EscalationSeverity < 0:
+		return fmt.Errorf("sim: emergency escalation severity %v negative", e.EscalationSeverity)
+	case e.RecoverySlots < 0:
+		return fmt.Errorf("sim: emergency recovery slots %d negative", e.RecoverySlots)
+	case e.OverloadEvery < 0:
+		return fmt.Errorf("sim: OverloadEvery %d negative", e.OverloadEvery)
+	case e.OverloadRackWatts < 0:
+		return fmt.Errorf("sim: OverloadRackWatts %v negative", e.OverloadRackWatts)
+	}
+	if e.OverloadEvery > 0 {
+		if e.OverloadDuration <= 0 || e.OverloadDuration > e.OverloadEvery {
+			return fmt.Errorf("sim: OverloadDuration %d outside (0, OverloadEvery=%d]", e.OverloadDuration, e.OverloadEvery)
+		}
+		if e.OverloadPDU < 0 || e.OverloadPDU >= len(topo.PDUs) {
+			return fmt.Errorf("sim: OverloadPDU %d of %d", e.OverloadPDU, len(topo.PDUs))
+		}
+	}
+	return nil
 }
 
 func (sc *Scenario) validate() error {
@@ -119,6 +170,11 @@ func (sc *Scenario) validate() error {
 			if r < 0 || r >= len(sc.Topo.Racks) {
 				return fmt.Errorf("sim: agent %s references rack %d of %d", a.Name(), r, len(sc.Topo.Racks))
 			}
+		}
+	}
+	if sc.Emergency != nil {
+		if err := sc.Emergency.validate(sc.Topo); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -185,6 +241,19 @@ type Result struct {
 	// EmergencySlots counts slots with a capacity excursion beyond breaker
 	// tolerance.
 	EmergencySlots int
+	// LongestEmergencyRun is the longest streak of consecutive emergency
+	// slots — the excursion duration the responder exists to bound
+	// (populated only with Scenario.Emergency set).
+	LongestEmergencyRun int
+	// EmergenciesActed, ReclaimedWatts, GuaranteedCutWatts, and
+	// InvoluntaryCuts mirror the operator's responder totals (all zero when
+	// the responder is off): excursions acted on, budget watts reclaimed,
+	// guaranteed watts curtailed under escalation, and budget resets that
+	// invaded a guarantee.
+	EmergenciesActed   int
+	ReclaimedWatts     float64
+	GuaranteedCutWatts float64
+	InvoluntaryCuts    int
 	// LostBids counts bid submissions dropped by fault injection.
 	LostBids int
 	// ClearingTime is the total wall time spent in market clearing, and
@@ -249,13 +318,30 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 		aud = &core.Auditor{}
 		sc.MarketOptions.Audit = aud
 	}
-	op, err := operator.New(operator.Config{
+	opCfg := operator.Config{
 		Topology:      sc.Topo,
 		MarketOptions: sc.MarketOptions,
 		Pricing:       sc.Pricing,
 		Predict:       sc.Predict,
 		Metrics:       opMetrics,
-	})
+	}
+	var emr *emergencyRunner
+	if sc.Emergency != nil {
+		if sc.Emergency.Responder {
+			// The simulator drives tenant capping controllers directly from
+			// op.LastReclaims(), so the operator needs no SetBudget hook.
+			opCfg.Emergency = &operator.ResponderConfig{
+				EscalationSeverity: sc.Emergency.EscalationSeverity,
+				RecoverySlots:      sc.Emergency.RecoverySlots,
+			}
+		}
+		var err error
+		emr, err = newEmergencyRunner(sc.Topo, *sc.Emergency)
+		if err != nil {
+			return nil, err
+		}
+	}
+	op, err := operator.New(opCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -465,8 +551,24 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 		if sc.PriceFeedback != nil {
 			sc.PriceFeedback(slot, price)
 		}
+		if emr != nil {
+			// Overload surge and tenant-side capping run on the slot
+			// goroutine, so serial and parallel runs stay bit-identical.
+			emr.apply(slot, reading)
+		}
 		if em := op.ObserveEmergencies(reading, sc.BreakerTolerance); len(em) > 0 {
 			res.EmergencySlots++
+			if emr != nil {
+				emr.run++
+				if emr.run > res.LongestEmergencyRun {
+					res.LongestEmergencyRun = emr.run
+				}
+			}
+		} else if emr != nil {
+			emr.run = 0
+		}
+		if emr != nil {
+			emr.absorb(op)
 		}
 		res.PriceSeries = append(res.PriceSeries, price)
 		res.SpotSold = append(res.SpotSold, sold)
@@ -483,6 +585,10 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 		}
 	}
 	res.SpotRevenue = op.SpotRevenue()
+	res.EmergenciesActed = op.EmergenciesActed()
+	res.ReclaimedWatts = op.ReclaimedWatts()
+	res.GuaranteedCutWatts = op.GuaranteedCutWatts()
+	res.InvoluntaryCuts = op.InvoluntaryCuts()
 	if opts.Audit {
 		if err := auditRun(aud, op, res); err != nil {
 			return nil, err
@@ -511,6 +617,99 @@ func auditRun(aud *core.Auditor, op *operator.Operator, res *Result) error {
 		}
 	}
 	return nil
+}
+
+// emergencyRunner holds the per-run state of the emergency harness: the
+// overload schedule and, with the responder on, one capping controller per
+// rack modelling the tenant side of the loop — it tracks whatever budget
+// the operator's reclaim plans push down, with PI settle dynamics instead
+// of an instantaneous cut.
+type emergencyRunner struct {
+	cfg   EmergencyScenario
+	topo  *power.Topology
+	ctrls []*capping.Controller // per rack; nil without the responder
+	peaks []float64             // per-rack model peak (guaranteed + headroom + surge)
+	caped []bool                // racks under an active reclaim budget
+	run   int                   // consecutive emergency slots
+}
+
+func newEmergencyRunner(topo *power.Topology, cfg EmergencyScenario) (*emergencyRunner, error) {
+	e := &emergencyRunner{
+		cfg:   cfg,
+		topo:  topo,
+		peaks: make([]float64, len(topo.Racks)),
+		caped: make([]bool, len(topo.Racks)),
+	}
+	for i, r := range topo.Racks {
+		e.peaks[i] = r.Guaranteed + r.SpotHeadroom + cfg.OverloadRackWatts
+	}
+	if !cfg.Responder {
+		return e, nil
+	}
+	e.ctrls = make([]*capping.Controller, len(topo.Racks))
+	for i := range topo.Racks {
+		c, err := capping.New(capping.Config{
+			Model:         capping.ServerModel{IdleWatts: 0, PeakWatts: e.peaks[i]},
+			InitialBudget: e.peaks[i],
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: emergency controller for rack %d: %v", i, err)
+		}
+		e.ctrls[i] = c
+	}
+	return e, nil
+}
+
+// overloadActive reports whether the surge schedule is on for the slot.
+func (e *emergencyRunner) overloadActive(slot int) bool {
+	return e.cfg.OverloadEvery > 0 &&
+		slot%e.cfg.OverloadEvery >= e.cfg.OverloadEvery-e.cfg.OverloadDuration
+}
+
+// apply mutates the merged slot reading: first the injected surge (the
+// uncapped demand), then the standing caps — racks under a reclaim budget
+// settle their capping controller against the offered load and report the
+// capped draw instead.
+func (e *emergencyRunner) apply(slot int, reading power.Reading) {
+	if e.overloadActive(slot) {
+		for _, r := range e.topo.RacksOfPDU(e.cfg.OverloadPDU) {
+			reading.RackWatts[r] += e.cfg.OverloadRackWatts
+		}
+	}
+	for r, c := range e.ctrls {
+		if c == nil || !e.caped[r] {
+			continue
+		}
+		raw := reading.RackWatts[r]
+		watts, _ := c.Settle(raw/e.peaks[r], 0.1, 50)
+		if watts < raw {
+			reading.RackWatts[r] = watts
+		}
+	}
+}
+
+// absorb folds the operator's slot outcome into tenant-side state: reclaim
+// plans arm a rack's controller at the reduced budget, restores lift it.
+func (e *emergencyRunner) absorb(op *operator.Operator) {
+	if e.ctrls == nil {
+		return
+	}
+	for _, plan := range op.LastReclaims() {
+		for _, t := range plan.Targets {
+			if c := e.ctrls[t.Rack]; c != nil {
+				_ = c.SetBudget(t.BudgetWatts)
+				e.caped[t.Rack] = true
+			}
+		}
+	}
+	for _, plan := range op.LastRestores() {
+		for _, t := range plan.Targets {
+			if c := e.ctrls[t.Rack]; c != nil {
+				_ = c.SetBudget(t.BudgetWatts)
+				e.caped[t.Rack] = false
+			}
+		}
+	}
 }
 
 // agentSlot is one agent's per-slot scratch: the parallel phases write

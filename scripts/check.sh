@@ -19,12 +19,16 @@
 #   6. the observability smoke: a short networked market scraped over
 #      live HTTP /metrics mid-run (make smoke-metrics), proving the
 #      scrape surface end to end on every check
-#   7. the audit-replay gate: the seeded 220-slot networked fault run
+#   7. the emergency-loop smoke: a seeded overload on a networked market
+#      drives the full Section III-C arc — spot reclamation, rack PDU
+#      budget resets, tenant budget broadcasts, suspension and recovery —
+#      under the race detector (make smoke-emergency)
+#   8. the audit-replay gate: the seeded 220-slot networked fault run
 #      journals full slot inputs (schema v2) and the offline auditor
 #      (internal/audit) replays every cleared slot bit-identically
 #      through both clearing engines, re-checking the conservation
 #      invariants end to end (make audit-replay)
-#   8. a one-iteration smoke of the Fig. 7(b) clearing benchmark, which
+#   9. a one-iteration smoke of the Fig. 7(b) clearing benchmark, which
 #      doubles as a regression tripwire for the allocation-free hot loop
 #      (the alloc budgets themselves are enforced by TestClearAllocBudget
 #      and, with instrumentation on, TestClearAllocBudgetInstrumented)
@@ -47,6 +51,8 @@ echo '== go test -race ./...'
 go test -race ./...
 echo '== smoke: /metrics scrape of a live networked market'
 go test -race -count=1 -run 'TestSmokeMetricsScrape' .
+echo '== smoke: emergency loop on a networked market'
+go test -race -count=1 -run 'TestNetRunEmergency' ./internal/sim/
 echo '== audit replay: seeded journal through both engines'
 go test -race -count=1 -run 'TestGoldenNetRunJournalReplay' ./internal/audit/
 echo '== bench smoke: Fig. 7(b) clearing'

@@ -56,6 +56,7 @@ import (
 	"spotdc/internal/par"
 	"spotdc/internal/power"
 	"spotdc/internal/proto"
+	"spotdc/internal/rackpdu"
 	"spotdc/internal/sim"
 	"spotdc/internal/tenant"
 	"spotdc/internal/trace"
@@ -192,6 +193,37 @@ func NewOperator(cfg OperatorConfig) (*Operator, error) { return operator.New(cf
 
 // DefaultPricing returns the paper's evaluation parameters.
 func DefaultPricing() Pricing { return operator.DefaultPricing() }
+
+// Emergency response (internal/operator + internal/rackpdu): the Section
+// III-C detect → reclaim → cap → verify loop.
+type (
+	// ResponderConfig arms the operator's emergency responder
+	// (OperatorConfig.Emergency).
+	ResponderConfig = operator.ResponderConfig
+	// ReclaimPlan is one emergency's spot-first reclamation plan.
+	ReclaimPlan = operator.ReclaimPlan
+	// ReclaimTarget is one rack's budget reset within a ReclaimPlan.
+	ReclaimTarget = operator.ReclaimTarget
+	// RackPDU is a metered rack PDU with a settable power budget — the
+	// physical enforcement point for emergency budget resets.
+	RackPDU = rackpdu.PDU
+	// RackPDUConfig parameterizes a RackPDU.
+	RackPDUConfig = rackpdu.Config
+	// RackPDUMetrics instruments a fleet of RackPDUs.
+	RackPDUMetrics = rackpdu.Metrics
+)
+
+// PlanReclaim computes the spot-first proportional reclamation plan for one
+// capacity emergency. Pure and deterministic: the audit replays it bit-exactly.
+func PlanReclaim(topo *Topology, em Emergency, rackWatts, spotGrants []float64, escalationSeverity float64) ReclaimPlan {
+	return operator.PlanReclaim(topo, em, rackWatts, spotGrants, escalationSeverity)
+}
+
+// NewRackPDU builds a rack PDU.
+func NewRackPDU(cfg RackPDUConfig) (*RackPDU, error) { return rackpdu.New(cfg) }
+
+// NewRackPDUMetrics registers the shared rack-PDU metric families.
+func NewRackPDUMetrics(r *MetricsRegistry) *RackPDUMetrics { return rackpdu.NewMetrics(r) }
 
 // Tenant agents (internal/tenant) and workload models (internal/workload).
 type (
