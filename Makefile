@@ -18,13 +18,20 @@
 #                       networked run journals full slot inputs and the
 #                       offline auditor replays every cleared slot
 #                       bit-identically through both engines
+#   make smoke-wire     binary-wire smoke run: the seeded 220-slot fault
+#                       schedule entirely on the binary encoding, plus the
+#                       mixed-fleet JSON/binary interop contract, race
+#                       detector on
 #   make bench-clearing scan vs exact Fig. 7(b) clearing-time comparison
+#   make bench-proto    wire-layer benchmarks: codec cost per encoding and
+#                       the concurrent broadcast fan-out vs the serial JSON
+#                       baseline
 #   make bench          the full benchmark suite, recorded as the next free
 #                       BENCH_<n>.json artifact (scripts/bench.sh)
 
 GO ?= go
 
-.PHONY: check test smoke-faults smoke-metrics smoke-emergency audit-replay bench bench-clearing
+.PHONY: check test smoke-faults smoke-metrics smoke-emergency smoke-wire audit-replay bench bench-clearing bench-proto
 
 check:
 	./scripts/check.sh
@@ -42,11 +49,17 @@ smoke-metrics:
 smoke-emergency:
 	$(GO) test -race -count=1 -v -run 'TestNetRunEmergency' ./internal/sim/
 
+smoke-wire:
+	$(GO) test -race -count=1 -v -run 'TestSmokeWire|TestMixedFleetInteropMatchesAllJSON' ./internal/sim/
+
 audit-replay:
 	$(GO) test -race -count=1 -v -run 'TestGoldenNetRunJournalReplay' ./internal/audit/
 
 bench-clearing:
 	./scripts/bench-clearing.sh
+
+bench-proto:
+	$(GO) test -run '^$$' -bench 'BenchmarkCodec|BenchmarkBroadcast' -benchmem ./internal/proto/
 
 bench:
 	./scripts/bench.sh

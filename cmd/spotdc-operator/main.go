@@ -10,7 +10,13 @@
 // Usage:
 //
 //	spotdc-operator [-listen 127.0.0.1:7070] [-slot-seconds 10] [-slots N] \
-//	    [-metrics-addr host:port] [-events FILE] [-audit] [-emergency] [-v]
+//	    [-wire any|json|binary] [-metrics-addr host:port] [-events FILE] \
+//	    [-audit] [-emergency] [-v]
+//
+// The server speaks both wire encodings, answering each connection in
+// whichever encoding it opened with (JSON or the compact binary frame); the
+// -wire flag restricts which encodings are accepted, for fleets that want
+// to enforce one.
 //
 // Observability: -metrics-addr serves Prometheus text metrics on
 // GET /metrics (plus /healthz) covering market clearings, operator slot
@@ -46,6 +52,7 @@ func main() {
 	slots := flag.Int("slots", 0, "stop after this many slots (0 = run forever)")
 	seed := flag.Int64("seed", 42, "background power trace seed")
 	algorithm := flag.String("algorithm", "auto", "clearing engine: auto, scan or exact")
+	wire := flag.String("wire", "any", "accepted wire encodings: any, json or binary")
 	sessionTTL := flag.Duration("session-ttl", 0, "expire tenant sessions idle longer than this (0 = library default)")
 	bidWindow := flag.Int("bid-window", 0, "accept bids at most this many slots ahead (0 = library default)")
 	maxFailures := flag.Int("max-consecutive-failures", 0, "trip the breaker to no-spot after this many consecutive slot failures (0 = never)")
@@ -62,6 +69,10 @@ func main() {
 	flag.Parse()
 
 	algo, err := spotdc.ParseClearingAlgorithm(*algorithm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wirePolicy, err := spotdc.ParseMarketWirePolicy(*wire)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -166,6 +177,7 @@ func main() {
 	srv, err := spotdc.NewMarketServerOpts(*listen, func(id string) (int, bool) {
 		return topo.RackByID(id)
 	}, spotdc.MarketServerOptions{
+		Wire:       wirePolicy,
 		SessionTTL: *sessionTTL,
 		BidWindow:  *bidWindow,
 		// Racks are single-tenant: reject a hello that claims another

@@ -8,7 +8,12 @@
 //	spotdc-tenant -name Count-1 -rack O-1 [-connect 127.0.0.1:7070]
 //	              [-dmax 60] [-dmin 6] [-qmin 0.02] [-qmax 0.16]
 //	              [-slot-seconds 10] [-slots N] [-reconnect] [-v]
-//	              [-peak-watts 205 [-idle-watts 60]]
+//	              [-wire json|binary] [-peak-watts 205 [-idle-watts 60]]
+//
+// -wire selects the frame encoding. The default json is the line-delimited
+// JSON protocol every operator accepts; binary is the compact
+// length-prefixed encoding (the operator answers in kind, so mixed fleets
+// interoperate).
 //
 // Output is quiet by default — only connection establishment and failures
 // are logged; -v adds per-slot price/grant lines and reconnect diagnostics.
@@ -42,6 +47,7 @@ func main() {
 	reconnect := flag.Bool("reconnect", true, "auto-reconnect with backoff when the session drops")
 	backoff := flag.Duration("backoff", 200*time.Millisecond, "base reconnect backoff (doubles per attempt, with jitter)")
 	maxAttempts := flag.Int("max-attempts", 8, "reconnect attempts before giving up (-1 = unlimited)")
+	wire := flag.String("wire", "json", "wire encoding: json (interoperable default) or binary (compact, allocation-free)")
 	peakWatts := flag.Float64("peak-watts", 0, "enable the power-capping controller: rack peak draw at full performance (W); 0 = off")
 	idleWatts := flag.Float64("idle-watts", 0, "rack idle draw for the capping model (W, with -peak-watts)")
 	verbose := flag.Bool("v", false, "verbose: per-slot prices/grants and reconnect diagnostics (default: quiet)")
@@ -50,6 +56,10 @@ func main() {
 	logf := func(string, ...interface{}) {}
 	if *verbose {
 		logf = log.Printf
+	}
+	enc, err := spotdc.ParseWireEncoding(*wire)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// -peak-watts: emergency budget resets from the operator drive the
@@ -67,6 +77,7 @@ func main() {
 		}
 	}
 	copts := spotdc.MarketClientOptions{
+		Wire:        enc,
 		Reconnect:   *reconnect,
 		BackoffBase: *backoff,
 		MaxAttempts: *maxAttempts,

@@ -1,0 +1,463 @@
+package proto
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary wire framing (DESIGN §4g). Every message is one frame:
+//
+//	[0] magic     0xBF — distinguishes a binary hello from JSON's '{'
+//	[1] version   0x01
+//	[2] type      message type code (binHello..binError)
+//	[3:6] length  24-bit big-endian payload length (≤ MaxLineBytes)
+//	[6:]  payload
+//
+// The payload always opens with the envelope fields every message carries —
+// tenant (string) and slot (int64) — followed by a type-specific body:
+//
+//	hello         u16 rack count, then rack IDs (strings)
+//	heartbeat     (empty)
+//	bid           u16 bid count, then per bid: rack ID, DMax, QMin, DMin,
+//	              QMax (float64s, struct order)
+//	price         price (float64), u32 grant count, then per grant: rack
+//	              ID, watts (float64)
+//	budget_reset  u32 grant count, then grants as in price
+//	error         detail (string)
+//
+// Scalars are big-endian; float64s are IEEE-754 bits; strings are a u16
+// length followed by raw bytes. Everything is length-checked against the
+// frame, so a truncated or hostile frame decodes to ErrProtocol, never a
+// panic or an over-allocation.
+const (
+	binMagic   = 0xBF
+	binVersion = 1
+
+	binFrameHeader = 6
+)
+
+// Binary message type codes (frame header byte 2).
+const (
+	binHello = iota + 1
+	binHeartBeat
+	binBid
+	binPrice
+	binBudgetReset
+	binError
+)
+
+// binTypeCode maps a wire MsgType to its frame code (0 = unencodable).
+func binTypeCode(t MsgType) byte {
+	switch t {
+	case TypeHello:
+		return binHello
+	case TypeHeartBeat:
+		return binHeartBeat
+	case TypeBid:
+		return binBid
+	case TypePrice:
+		return binPrice
+	case TypeBudgetReset:
+		return binBudgetReset
+	case TypeError:
+		return binError
+	default:
+		return 0
+	}
+}
+
+// binTypeOf maps a frame code back to the wire MsgType ("" = unknown).
+func binTypeOf(code byte) MsgType {
+	switch code {
+	case binHello:
+		return TypeHello
+	case binHeartBeat:
+		return TypeHeartBeat
+	case binBid:
+		return TypeBid
+	case binPrice:
+		return TypePrice
+	case binBudgetReset:
+		return TypeBudgetReset
+	case binError:
+		return TypeError
+	default:
+		return ""
+	}
+}
+
+// maxInterned bounds the decoder's string intern table; rack IDs and tenant
+// names are a small fixed vocabulary per session, so the cap only matters
+// against a hostile peer streaming unique strings to grow the table.
+const maxInterned = 1 << 12
+
+// BinaryCodec reads and writes length-prefixed binary frames on a stream.
+// It is the throughput path of the protocol: one buffered write per Send,
+// and per-codec scratch (encode buffer, decode buffer, slice buffers, a
+// string intern table) keeps both directions allocation-free in steady
+// state. Recv's contract is the Wire one: returned slices and strings may
+// reference codec scratch reused by the next Recv.
+type BinaryCodec struct {
+	r *bufio.Reader
+	w io.Writer
+	c io.Closer
+
+	enc []byte // encode scratch; one frame appended then written whole
+	dec []byte // decode scratch; holds the current frame's payload
+
+	// hdr and rd live on the codec, not the stack: both have their address
+	// taken inside Recv (ReadFull, the payload walker), which would escape
+	// a local to the heap and cost one allocation per message.
+	hdr [binFrameHeader]byte
+	rd  binReader
+
+	// Decode slice scratch, reused across Recv calls.
+	racks  []string
+	bids   []RackBid
+	grants []Grant
+	// names interns decoded strings so steady-state Recv of a known
+	// vocabulary (tenant names, rack IDs) does not allocate.
+	names map[string]string
+}
+
+// NewBinaryCodec wraps a connection with the binary framing.
+func NewBinaryCodec(rw io.ReadWriteCloser) *BinaryCodec {
+	return newBinaryCodec(bufio.NewReader(rw), rw)
+}
+
+// newBinaryCodec builds the codec over an explicit buffered reader (shared
+// with the server's encoding-negotiation peek).
+func newBinaryCodec(r *bufio.Reader, wc io.WriteCloser) *BinaryCodec {
+	return &BinaryCodec{
+		r:     r,
+		w:     wc,
+		c:     wc,
+		names: make(map[string]string, 64),
+	}
+}
+
+// Encoding identifies the codec as the binary wire encoding.
+func (c *BinaryCodec) Encoding() Encoding { return WireBinary }
+
+// Close closes the underlying stream.
+func (c *BinaryCodec) Close() error { return c.c.Close() }
+
+func appendU16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendF64(b []byte, v float64) []byte { return appendU64(b, math.Float64bits(v)) }
+
+func appendStr(b []byte, s string) ([]byte, error) {
+	if len(s) > math.MaxUint16 {
+		return b, fmt.Errorf("%w: string field of %d bytes", ErrProtocol, len(s))
+	}
+	return append(appendU16(b, uint16(len(s))), s...), nil
+}
+
+// Send writes one message as a single frame with one underlying write.
+func (c *BinaryCodec) Send(m Message) error {
+	code := binTypeCode(m.Type)
+	if code == 0 {
+		return fmt.Errorf("%w: message type %q has no binary encoding", ErrProtocol, m.Type)
+	}
+	b := append(c.enc[:0], binMagic, binVersion, code, 0, 0, 0)
+	var err error
+	if b, err = appendStr(b, m.Tenant); err != nil {
+		return err
+	}
+	b = appendU64(b, uint64(int64(m.Slot)))
+	switch m.Type {
+	case TypeHello:
+		if len(m.Racks) > math.MaxUint16 {
+			return fmt.Errorf("%w: %d racks in hello", ErrProtocol, len(m.Racks))
+		}
+		b = appendU16(b, uint16(len(m.Racks)))
+		for _, r := range m.Racks {
+			if b, err = appendStr(b, r); err != nil {
+				return err
+			}
+		}
+	case TypeHeartBeat:
+	case TypeBid:
+		if len(m.Bids) > math.MaxUint16 {
+			return fmt.Errorf("%w: %d bids in one message", ErrProtocol, len(m.Bids))
+		}
+		b = appendU16(b, uint16(len(m.Bids)))
+		for _, rb := range m.Bids {
+			if b, err = appendStr(b, rb.Rack); err != nil {
+				return err
+			}
+			b = appendF64(b, rb.DMax)
+			b = appendF64(b, rb.QMin)
+			b = appendF64(b, rb.DMin)
+			b = appendF64(b, rb.QMax)
+		}
+	case TypePrice:
+		b = appendF64(b, m.Price)
+		if b, err = appendGrants(b, m.Grants); err != nil {
+			return err
+		}
+	case TypeBudgetReset:
+		if b, err = appendGrants(b, m.Grants); err != nil {
+			return err
+		}
+	case TypeError:
+		if b, err = appendStr(b, m.Detail); err != nil {
+			return err
+		}
+	}
+	n := len(b) - binFrameHeader
+	if n > MaxLineBytes {
+		return fmt.Errorf("%w: %d-byte frame exceeds %d", ErrProtocol, n, MaxLineBytes)
+	}
+	b[3], b[4], b[5] = byte(n>>16), byte(n>>8), byte(n)
+	c.enc = b // keep the grown scratch
+	_, err = c.w.Write(b)
+	return err
+}
+
+func appendGrants(b []byte, grants []Grant) ([]byte, error) {
+	if len(grants) > math.MaxUint32 {
+		return b, fmt.Errorf("%w: %d grants in one message", ErrProtocol, len(grants))
+	}
+	b = appendU32(b, uint32(len(grants)))
+	var err error
+	for _, g := range grants {
+		if b, err = appendStr(b, g.Rack); err != nil {
+			return b, err
+		}
+		b = appendF64(b, g.Watts)
+	}
+	return b, nil
+}
+
+// binReader walks one frame's payload with bounds checking.
+type binReader struct {
+	b   []byte
+	off int
+}
+
+func (r *binReader) need(n int) error {
+	if len(r.b)-r.off < n {
+		return fmt.Errorf("%w: truncated binary frame", ErrProtocol)
+	}
+	return nil
+}
+
+func (r *binReader) u16() (uint16, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *binReader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *binReader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *binReader) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+// str decodes one string, interned through the codec's table so repeated
+// vocabulary (tenant names, rack IDs) costs no allocation in steady state.
+func (r *binReader) str(c *BinaryCodec) (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	if err := r.need(int(n)); err != nil {
+		return "", err
+	}
+	raw := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	// The compiler elides the []byte→string conversion in a map index, so
+	// a hit is allocation-free.
+	if s, ok := c.names[string(raw)]; ok {
+		return s, nil
+	}
+	s := string(raw)
+	if len(c.names) < maxInterned {
+		c.names[s] = s
+	}
+	return s, nil
+}
+
+// Recv reads one frame. io.EOF signals a clean close before a frame starts;
+// a partial frame is an ErrUnexpectedEOF. Returned slices reference codec
+// scratch valid until the next Recv.
+func (c *BinaryCodec) Recv() (Message, error) {
+	hdr := &c.hdr
+	if _, err := io.ReadFull(c.r, hdr[:1]); err != nil {
+		return Message{}, err
+	}
+	if hdr[0] != binMagic {
+		return Message{}, fmt.Errorf("%w: bad frame magic 0x%02X", ErrProtocol, hdr[0])
+	}
+	if _, err := io.ReadFull(c.r, hdr[1:]); err != nil {
+		return Message{}, noEOF(err)
+	}
+	if hdr[1] != binVersion {
+		return Message{}, fmt.Errorf("%w: unsupported binary wire version %d", ErrProtocol, hdr[1])
+	}
+	typ := binTypeOf(hdr[2])
+	if typ == "" {
+		return Message{}, fmt.Errorf("%w: unknown binary message code %d", ErrProtocol, hdr[2])
+	}
+	n := int(hdr[3])<<16 | int(hdr[4])<<8 | int(hdr[5])
+	if n > MaxLineBytes {
+		return Message{}, fmt.Errorf("%w: %d-byte frame exceeds %d", ErrProtocol, n, MaxLineBytes)
+	}
+	if cap(c.dec) < n {
+		c.dec = make([]byte, n)
+	}
+	c.dec = c.dec[:n]
+	if _, err := io.ReadFull(c.r, c.dec); err != nil {
+		return Message{}, noEOF(err)
+	}
+	c.rd = binReader{b: c.dec}
+	r := &c.rd
+	m := Message{Type: typ}
+	var err error
+	if m.Tenant, err = r.str(c); err != nil {
+		return Message{}, err
+	}
+	slot, err := r.u64()
+	if err != nil {
+		return Message{}, err
+	}
+	m.Slot = int(int64(slot))
+	switch typ {
+	case TypeHello:
+		cnt, err := r.u16()
+		if err != nil {
+			return Message{}, err
+		}
+		c.racks = c.racks[:0]
+		for i := 0; i < int(cnt); i++ {
+			s, err := r.str(c)
+			if err != nil {
+				return Message{}, err
+			}
+			c.racks = append(c.racks, s)
+		}
+		if cnt > 0 {
+			m.Racks = c.racks
+		}
+	case TypeHeartBeat:
+	case TypeBid:
+		cnt, err := r.u16()
+		if err != nil {
+			return Message{}, err
+		}
+		// Each bid is at least 2+4×8 bytes; reject counts the frame cannot
+		// hold before allocating anything proportional to them.
+		if err := r.need(int(cnt) * (2 + 4*8)); err != nil {
+			return Message{}, err
+		}
+		c.bids = c.bids[:0]
+		for i := 0; i < int(cnt); i++ {
+			var rb RackBid
+			if rb.Rack, err = r.str(c); err != nil {
+				return Message{}, err
+			}
+			if rb.DMax, err = r.f64(); err != nil {
+				return Message{}, err
+			}
+			if rb.QMin, err = r.f64(); err != nil {
+				return Message{}, err
+			}
+			if rb.DMin, err = r.f64(); err != nil {
+				return Message{}, err
+			}
+			if rb.QMax, err = r.f64(); err != nil {
+				return Message{}, err
+			}
+			c.bids = append(c.bids, rb)
+		}
+		if cnt > 0 {
+			m.Bids = c.bids
+		}
+	case TypePrice:
+		if m.Price, err = r.f64(); err != nil {
+			return Message{}, err
+		}
+		if m.Grants, err = c.readGrants(r); err != nil {
+			return Message{}, err
+		}
+	case TypeBudgetReset:
+		if m.Grants, err = c.readGrants(r); err != nil {
+			return Message{}, err
+		}
+	case TypeError:
+		if m.Detail, err = r.str(c); err != nil {
+			return Message{}, err
+		}
+	}
+	if r.off != len(r.b) {
+		return Message{}, fmt.Errorf("%w: %d trailing bytes in %s frame", ErrProtocol, len(r.b)-r.off, typ)
+	}
+	return m, nil
+}
+
+func (c *BinaryCodec) readGrants(r *binReader) ([]Grant, error) {
+	cnt, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.need(int(cnt) * (2 + 8)); err != nil {
+		return nil, err
+	}
+	c.grants = c.grants[:0]
+	for i := 0; i < int(cnt); i++ {
+		var g Grant
+		if g.Rack, err = r.str(c); err != nil {
+			return nil, err
+		}
+		if g.Watts, err = r.f64(); err != nil {
+			return nil, err
+		}
+		c.grants = append(c.grants, g)
+	}
+	if len(c.grants) == 0 {
+		return nil, nil
+	}
+	return c.grants, nil
+}
+
+// noEOF maps a mid-frame EOF to ErrUnexpectedEOF: only an EOF on a frame
+// boundary is a clean close.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -44,6 +44,10 @@ type ClientOptions struct {
 	// Dialer replaces the TCP dialer — the fault-injection hook (see
 	// FaultInjector.Dial). Default net.DialTimeout over HandshakeTimeout.
 	Dialer func(addr string) (net.Conn, error)
+	// Wire selects the session's wire encoding (default WireJSON — the
+	// interop default). The server detects the encoding from the client's
+	// first byte and answers in kind, so mixed fleets share one market.
+	Wire Encoding
 	// Metrics, if non-nil, counts restored sessions on the shared protocol
 	// handle set (spotdc_proto_client_reconnects_total).
 	Metrics *Metrics
@@ -53,7 +57,8 @@ type ClientOptions struct {
 	// driving AwaitPrice, which keeps waiting for the price afterwards; the
 	// tenant drives its capping controller to the reduced budget here. Nil
 	// leaves budget resets ignored (operator-side enforcement still caps
-	// the rack).
+	// the rack). budgets may reference codec-owned decode scratch: it is
+	// only valid for the duration of the callback — copy to retain.
 	OnBudgetReset func(slot int, budgets []Grant)
 	// Logf, if non-nil, narrates redial attempts. Default silent:
 	// reconnects are expected operation under churn and are surfaced via
@@ -88,7 +93,13 @@ type Client struct {
 	rng    *rand.Rand
 
 	conn  net.Conn
-	codec *Codec
+	codec Wire
+
+	// grantScratch backs the slices returned by AwaitPrice: the binary
+	// codec's decode scratch is overwritten by the next Recv, so grants are
+	// copied into a client-owned buffer reused across slots (alloc-free in
+	// steady state). The returned slice is valid until the next AwaitPrice.
+	grantScratch []Grant
 
 	reconnects int
 }
@@ -131,7 +142,12 @@ func (c *Client) connect() error {
 	if err != nil {
 		return err
 	}
-	codec := NewCodec(conn)
+	var codec Wire
+	if c.opts.Wire == WireBinary {
+		codec = NewBinaryCodec(conn)
+	} else {
+		codec = NewCodec(conn)
+	}
 	setConnDeadline(conn, c.opts.HandshakeTimeout)
 	if err := codec.Send(Message{Type: TypeHello, Tenant: c.tenant, Racks: c.racks}); err != nil {
 		conn.Close()
@@ -278,7 +294,14 @@ func (c *Client) AwaitPrice(slot int, timeout time.Duration) (price float64, gra
 		}
 		switch {
 		case msg.Type == TypePrice && msg.Slot == slot:
-			return msg.Price, msg.Grants, nil
+			// Copy out of codec-owned decode scratch (see Wire.Recv); the
+			// returned slice is valid until the next AwaitPrice call.
+			c.grantScratch = append(c.grantScratch[:0], msg.Grants...)
+			grants = c.grantScratch
+			if len(grants) == 0 {
+				grants = nil
+			}
+			return msg.Price, grants, nil
 		case msg.Type == TypePrice && msg.Slot < slot:
 			continue // stale broadcast
 		case msg.Type == TypeHeartBeat:

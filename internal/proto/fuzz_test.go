@@ -6,6 +6,50 @@ import (
 	"time"
 )
 
+// FuzzBinaryCodecRoundTrip feeds arbitrary bytes to the binary frame
+// decoder: it must never panic, never return a typeless message, and every
+// frame it does accept must re-encode and re-decode to the identical
+// message (the round-trip property that keeps mixed fleets honest).
+func FuzzBinaryCodecRoundTrip(f *testing.F) {
+	for _, m := range wireFixtures {
+		var buf memStream
+		if err := NewBinaryCodec(&buf).Send(m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte(nil), buf.Bytes()...))
+	}
+	f.Add([]byte{binMagic, binVersion, binHeartBeat, 0, 0, 0})
+	f.Add([]byte{binMagic, 9, 9, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte("garbage that is clearly not a frame"))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		st := &memStream{}
+		st.Write(input)
+		dec := NewBinaryCodec(st)
+		for {
+			m, err := dec.Recv()
+			if err != nil {
+				return // malformed or exhausted: an error, never a panic
+			}
+			if m.Type == "" {
+				t.Fatal("decoder returned a typeless message without error")
+			}
+			m = copyMsg(m)
+			var buf memStream
+			re := NewBinaryCodec(&buf)
+			if err := re.Send(m); err != nil {
+				t.Fatalf("decoded message failed to re-encode: %+v: %v", m, err)
+			}
+			m2, err := re.Recv()
+			if err != nil {
+				t.Fatalf("re-encoded frame failed to decode: %+v: %v", m, err)
+			}
+			if m2 = copyMsg(m2); !msgEqual(m, m2) {
+				t.Fatalf("round-trip mismatch:\n first  %+v\n second %+v", m, m2)
+			}
+		}
+	})
+}
+
 // FuzzCodecRecv feeds arbitrary bytes to the wire decoder: it must never
 // panic and must either return a typed message or an error.
 func FuzzCodecRecv(f *testing.F) {

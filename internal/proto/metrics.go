@@ -13,6 +13,12 @@ const (
 	rejectWindow  = "window"  // bid beyond the acceptance window
 )
 
+// Outbound-drop reason label values of spotdc_proto_outbound_drops_total.
+const (
+	dropQueueFull  = "full"  // slow consumer: bounded queue overflowed
+	dropWriteError = "error" // send failed (deadline expiry, reset, sever)
+)
+
 // Metrics is the protocol layer's pre-registered instrumentation handle
 // set, shared by the server, clients, and fault injectors of one run (the
 // networked harness wires the same set everywhere, so /metrics shows the
@@ -35,6 +41,13 @@ type Metrics struct {
 
 	broadcastsOK     *metrics.Counter
 	broadcastsFailed *metrics.Counter
+	bcastJSON        *metrics.Counter
+	bcastBinary      *metrics.Counter
+
+	outQueueDepth    *metrics.Gauge
+	outDropFull      *metrics.Counter
+	outDropError     *metrics.Counter
+	deadlineExpiries *metrics.Counter
 
 	faultDrops  *metrics.Counter
 	faultDelays *metrics.Counter
@@ -50,6 +63,10 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 		"Per-session price broadcast sends, by result (ok, failed); a failed send leaves that tenant on the no-spot default.", "result")
 	faults := r.CounterVec("spotdc_proto_faults_injected_total",
 		"Protocol faults injected by the seeded FaultInjector, by kind (drop, delay, sever).", "kind")
+	bcastEnc := r.CounterVec("spotdc_proto_broadcasts_by_encoding_total",
+		"Successful per-session broadcast sends (price, budget_reset), by wire encoding (json, binary).", "encoding")
+	outDrops := r.CounterVec("spotdc_proto_outbound_drops_total",
+		"Outbound messages dropped by the writer path, by reason (full = slow-consumer queue overflow, error = failed send); either drops the session to the no-spot default.", "reason")
 	return &Metrics{
 		sessionsActive: r.Gauge("spotdc_proto_sessions_active",
 			"Currently connected tenant sessions."),
@@ -68,6 +85,14 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 		rejWindow:        rejects.With(rejectWindow),
 		broadcastsOK:     bcast.With("ok"),
 		broadcastsFailed: bcast.With("failed"),
+		bcastJSON:        bcastEnc.With("json"),
+		bcastBinary:      bcastEnc.With("binary"),
+		outQueueDepth: r.Gauge("spotdc_proto_outbound_queue_depth",
+			"Messages currently buffered in per-session outbound queues, summed across sessions."),
+		outDropFull:  outDrops.With(dropQueueFull),
+		outDropError: outDrops.With(dropWriteError),
+		deadlineExpiries: r.Counter("spotdc_proto_send_deadline_expiries_total",
+			"Outbound sends that hit the per-message write deadline (ServerOptions.WriteTimeout)."),
 		faultDrops:       faults.With("drop"),
 		faultDelays:      faults.With("delay"),
 		faultSevers:      faults.With("sever"),
@@ -138,4 +163,44 @@ func (pm *Metrics) broadcast(ok bool) {
 	} else {
 		pm.broadcastsFailed.Inc()
 	}
+}
+
+// broadcastEncoded records one successful broadcast send by wire encoding.
+func (pm *Metrics) broadcastEncoded(e Encoding) {
+	if pm == nil {
+		return
+	}
+	if e == WireBinary {
+		pm.bcastBinary.Inc()
+	} else {
+		pm.bcastJSON.Inc()
+	}
+}
+
+// queueDepth moves the summed outbound queue depth gauge by delta.
+func (pm *Metrics) queueDepth(delta int) {
+	if pm == nil {
+		return
+	}
+	pm.outQueueDepth.Add(float64(delta))
+}
+
+// outboundDropped records one dropped outbound message by reason (one of
+// the drop* constants).
+func (pm *Metrics) outboundDropped(reason string) {
+	if pm == nil {
+		return
+	}
+	if reason == dropQueueFull {
+		pm.outDropFull.Inc()
+	} else {
+		pm.outDropError.Inc()
+	}
+}
+
+func (pm *Metrics) sendDeadlineExpired() {
+	if pm == nil {
+		return
+	}
+	pm.deadlineExpiries.Inc()
 }

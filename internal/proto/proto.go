@@ -1,7 +1,13 @@
 // Package proto implements the SpotDC communication layer of Fig. 5: a
 // simple management protocol between the operator and remote tenants,
-// carrying HeartBeat, Bid, Price and Allocation messages as
-// newline-delimited JSON over TCP.
+// carrying HeartBeat, Bid, Price and Allocation messages over TCP.
+//
+// Two wire encodings carry the same six message types: the historical
+// newline-delimited JSON (Codec) and a compact length-prefixed binary
+// framing (BinaryCodec, see binary.go). The encoding is negotiated at
+// hello: the server detects which encoding the client's first byte opened
+// with and answers in kind, so old JSON clients interoperate unchanged
+// with binary ones on the same market.
 //
 // Failure semantics follow Section III-C's "handling exceptions": any
 // communication loss resumes the default of no spot capacity for the
@@ -88,6 +94,62 @@ type Message struct {
 // rack), so anything larger is a protocol violation.
 const MaxLineBytes = 1 << 20
 
+// Encoding selects the wire encoding a client opens its session with. The
+// server always answers in whichever encoding the client spoke first.
+type Encoding int
+
+// Wire encodings.
+const (
+	// WireJSON is the historical newline-delimited JSON encoding — the
+	// interop default.
+	WireJSON Encoding = iota
+	// WireBinary is the compact length-prefixed binary framing (binary.go):
+	// one buffered write per message, allocation-free in steady state.
+	WireBinary
+)
+
+// String names the encoding (the -wire flag values).
+func (e Encoding) String() string {
+	switch e {
+	case WireJSON:
+		return "json"
+	case WireBinary:
+		return "binary"
+	default:
+		return fmt.Sprintf("Encoding(%d)", int(e))
+	}
+}
+
+// ParseEncoding parses a -wire flag value ("json" or "binary").
+func ParseEncoding(s string) (Encoding, error) {
+	switch s {
+	case "json":
+		return WireJSON, nil
+	case "binary":
+		return WireBinary, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown wire encoding %q (want json or binary)", ErrProtocol, s)
+	}
+}
+
+// Wire is one session's message transport: a codec bound to a stream. Both
+// the JSON Codec and the BinaryCodec implement it. Send and Recv are each
+// single-goroutine (one writer, one reader — the two may be distinct
+// goroutines); codecs keep per-direction scratch, so interleaving two
+// senders corrupts frames.
+type Wire interface {
+	// Send writes one message.
+	Send(m Message) error
+	// Recv reads one message; io.EOF signals a clean close. Slices inside
+	// the returned Message may reference codec-owned scratch that is
+	// overwritten by the next Recv — callers that retain them must copy.
+	Recv() (Message, error)
+	// Close closes the underlying stream.
+	Close() error
+	// Encoding identifies the codec's wire encoding.
+	Encoding() Encoding
+}
+
 // Codec reads and writes newline-delimited JSON messages on a stream.
 type Codec struct {
 	r *bufio.Scanner
@@ -97,10 +159,20 @@ type Codec struct {
 
 // NewCodec wraps a connection.
 func NewCodec(rw io.ReadWriteCloser) *Codec {
-	sc := bufio.NewScanner(rw)
-	sc.Buffer(make([]byte, 0, 4096), MaxLineBytes)
-	return &Codec{r: sc, w: bufio.NewWriter(rw), c: rw}
+	return newJSONCodec(rw, rw)
 }
+
+// newJSONCodec builds the JSON codec over an explicit reader (the server
+// peeks the first byte through a shared bufio.Reader to negotiate the
+// encoding, then hands the same reader here).
+func newJSONCodec(r io.Reader, wc io.WriteCloser) *Codec {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), MaxLineBytes)
+	return &Codec{r: sc, w: bufio.NewWriter(wc), c: wc}
+}
+
+// Encoding identifies the codec as the JSON wire encoding.
+func (c *Codec) Encoding() Encoding { return WireJSON }
 
 // Send writes one message.
 func (c *Codec) Send(m Message) error {

@@ -1,11 +1,14 @@
 package proto
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spotdc/internal/core"
@@ -13,6 +16,50 @@ import (
 
 // RackResolver maps wire rack IDs to market rack indices.
 type RackResolver func(id string) (int, bool)
+
+// WirePolicy restricts which wire encodings the server accepts at hello.
+// The default accepts both: the server always answers in whichever
+// encoding the client opened with, so mixed fleets interoperate.
+type WirePolicy int
+
+// Wire acceptance policies (the operator's -wire flag).
+const (
+	// WireAny accepts JSON and binary clients alike (default).
+	WireAny WirePolicy = iota
+	// WireJSONOnly rejects binary clients.
+	WireJSONOnly
+	// WireBinaryOnly rejects JSON clients.
+	WireBinaryOnly
+)
+
+// String names the policy (the -wire flag values).
+func (p WirePolicy) String() string {
+	switch p {
+	case WireAny:
+		return "any"
+	case WireJSONOnly:
+		return "json"
+	case WireBinaryOnly:
+		return "binary"
+	default:
+		return fmt.Sprintf("WirePolicy(%d)", int(p))
+	}
+}
+
+// ParseWirePolicy parses an operator -wire flag value ("any", "json" or
+// "binary").
+func ParseWirePolicy(s string) (WirePolicy, error) {
+	switch s {
+	case "", "any":
+		return WireAny, nil
+	case "json":
+		return WireJSONOnly, nil
+	case "binary":
+		return WireBinaryOnly, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown wire policy %q (want any, json or binary)", ErrProtocol, s)
+	}
+}
 
 // ServerOptions tunes the operator-side endpoint's robustness knobs. The
 // zero value gives sensible production defaults.
@@ -31,6 +78,20 @@ type ServerOptions struct {
 	// map unpruned), anything at or before t is rejected as stale (it
 	// missed its market — the no-spot default applies). Default 16.
 	BidWindow int
+	// WriteTimeout bounds each outbound message write: a peer whose TCP
+	// buffer stays full past the deadline fails the write and is dropped
+	// to the no-spot default instead of blocking its writer goroutine
+	// forever. Default 5s.
+	WriteTimeout time.Duration
+	// QueueDepth bounds each session's outbound queue (broadcasts, acks,
+	// error replies). A session whose queue is full when the market tries
+	// to enqueue is a slow consumer and is dropped — the Section III-C
+	// no-spot default — so a single stalled peer costs the market loop one
+	// failed enqueue, never a blocked slot. Default 32.
+	QueueDepth int
+	// Wire restricts the accepted wire encodings (default: accept both and
+	// answer each client in the encoding it opened with).
+	Wire WirePolicy
 	// OwnerOf, if non-nil, names the tenant that owns a rack index. A hello
 	// claiming a rack owned by a different tenant is rejected outright:
 	// without this check any connected tenant could register (and bid spot
@@ -41,8 +102,8 @@ type ServerOptions struct {
 	// fault-injection hook (see FaultInjector.Wrap).
 	WrapConn func(net.Conn) net.Conn
 	// Metrics, if non-nil, receives protocol instrumentation (sessions,
-	// bid acceptance/rejection, broadcast outcomes). Typically shared with
-	// the run's clients and fault injectors.
+	// bid acceptance/rejection, broadcast outcomes, outbound queueing).
+	// Typically shared with the run's clients and fault injectors.
 	Metrics *Metrics
 	// Logf, if non-nil, receives the server's diagnostics. The default is
 	// silent: protocol noise (reaped sessions, broadcast failures) is
@@ -64,12 +125,24 @@ func (o *ServerOptions) setDefaults() {
 	if o.BidWindow <= 0 {
 		o.BidWindow = 16
 	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 5 * time.Second
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 32
+	}
 }
 
 // Server is the operator-side endpoint of Fig. 5: it accepts tenant
 // sessions, collects their per-slot bids, and broadcasts clearing results.
 // The market loop itself is driven externally (see operator/sim); the
 // server only does transport and validation.
+//
+// Outbound traffic is fully asynchronous: every session owns a bounded
+// queue drained by a writer goroutine, so Broadcast hands a slot off in
+// O(sessions) cheap enqueues — independent of peer round-trip times — and
+// a stalled peer is dropped by the slow-consumer policy instead of
+// blocking the market loop.
 type Server struct {
 	ln      net.Listener
 	resolve RackResolver
@@ -89,18 +162,61 @@ type Server struct {
 	haveTaken bool
 	reaped    int // sessions expired by the reaper or evicted on re-hello
 
+	// Broadcast scratch, guarded by bmu (one broadcast at a time): the
+	// per-tenant grant grouping and the session snapshot are reused across
+	// slots so a steady-state Broadcast performs zero heap allocations.
+	bmu       sync.Mutex
+	perTenant map[string]*[]Grant
+	bTenants  []string
+	sessSnap  []*session
+
+	// free recycles grant buffers between broadcast producers and the
+	// writer goroutines that release them after encoding. A plain mutexed
+	// freelist rather than sync.Pool: GC never empties it, which keeps the
+	// steady-state alloc budget at exactly zero.
+	fmu  sync.Mutex
+	free []*[]Grant
+
 	wg   sync.WaitGroup
 	stop chan struct{}
+}
+
+// queuedMsg is one pending outbound message. grants, when non-nil, is a
+// pooled buffer owned by the queue entry; the writer returns it to the
+// server freelist after encoding.
+type queuedMsg struct {
+	typ    MsgType
+	slot   int
+	price  float64
+	grants *[]Grant
+	detail string
 }
 
 type session struct {
 	tenant string
 	racks  map[string]int // wire ID → rack index
-	codec  *Codec
-	sendMu sync.Mutex
-	// lastSeen is the arrival time of the session's most recent message,
-	// guarded by the server mutex; the reaper expires sessions on it.
-	lastSeen time.Time
+	codec  Wire
+	conn   net.Conn
+	// lastSeen is the arrival time of the session's most recent message as
+	// unix nanos; heartbeat floods update it without touching the server
+	// mutex, so liveness refresh never contends with bid intake.
+	lastSeen atomic.Int64
+
+	// queue feeds the session's writer goroutine; qmu serializes enqueue
+	// against the dropped transition so no message is enqueued after the
+	// writer has been told to exit.
+	queue   chan queuedMsg
+	qmu     sync.Mutex
+	dropped bool
+	quit    chan struct{}
+}
+
+// touch refreshes the session's liveness timestamp (lock-free).
+func (sess *session) touch() { sess.lastSeen.Store(time.Now().UnixNano()) }
+
+// idleFor reports how long the session has been silent.
+func (sess *session) idleFor(now time.Time) time.Duration {
+	return time.Duration(now.UnixNano() - sess.lastSeen.Load())
 }
 
 // NewServer listens on addr ("127.0.0.1:0" for an ephemeral port) with
@@ -119,24 +235,32 @@ func NewServerOpts(addr string, resolve RackResolver, opts ServerOptions) (*Serv
 	if err != nil {
 		return nil, err
 	}
-	logf := opts.Logf
-	if logf == nil {
-		logf = func(string, ...interface{}) {} // quiet by default; see ServerOptions.Logf
-	}
-	s := &Server{
-		ln:       ln,
-		resolve:  resolve,
-		opts:     opts,
-		logf:     logf,
-		met:      opts.Metrics,
-		sessions: make(map[string]*session),
-		bids:     make(map[int]map[string][]core.Bid),
-		stop:     make(chan struct{}),
-	}
+	s := newServerState(opts)
+	s.ln = ln
+	s.resolve = resolve
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.reapLoop()
 	return s, nil
+}
+
+// newServerState builds the listener-independent server core (benchmarks
+// and alloc tests drive it with synthetic sessions, no TCP).
+func newServerState(opts ServerOptions) *Server {
+	opts.setDefaults()
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {} // quiet by default; see ServerOptions.Logf
+	}
+	return &Server{
+		opts:      opts,
+		logf:      logf,
+		met:       opts.Metrics,
+		sessions:  make(map[string]*session),
+		bids:      make(map[int]map[string][]core.Bid),
+		perTenant: make(map[string]*[]Grant),
+		stop:      make(chan struct{}),
+	}
 }
 
 // SetLogf replaces the server's logger (tests use a silent one).
@@ -188,7 +312,7 @@ func (s *Server) reapExpired(now time.Time) {
 	var expired []*session
 	s.mu.Lock()
 	for name, sess := range s.sessions {
-		if now.Sub(sess.lastSeen) > s.opts.SessionTTL {
+		if sess.idleFor(now) > s.opts.SessionTTL {
 			delete(s.sessions, name)
 			s.reaped++
 			s.met.sessionReaped()
@@ -199,7 +323,7 @@ func (s *Server) reapExpired(now time.Time) {
 	s.mu.Unlock()
 	for _, sess := range expired {
 		s.logf("proto: session %s expired (idle > %v), reaped", sess.tenant, s.opts.SessionTTL)
-		_ = sess.codec.Close()
+		s.dropSession(sess)
 	}
 }
 
@@ -210,16 +334,59 @@ func (s *Server) ReapedSessions() int {
 	return s.reaped
 }
 
+// negotiateCodec peeks the session's first byte to select its wire
+// encoding: a binary frame opens with binMagic, JSON with '{'. The server
+// answers in the same encoding for the life of the session.
+func negotiateCodec(conn net.Conn) (Wire, error) {
+	br := bufio.NewReader(conn)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, err
+	}
+	if first[0] == binMagic {
+		return newBinaryCodec(br, conn), nil
+	}
+	return newJSONCodec(br, conn), nil
+}
+
+// wireAllowed checks the negotiated encoding against the accept policy.
+func (s *Server) wireAllowed(e Encoding) bool {
+	switch s.opts.Wire {
+	case WireJSONOnly:
+		return e == WireJSON
+	case WireBinaryOnly:
+		return e == WireBinary
+	default:
+		return true
+	}
+}
+
 func (s *Server) handle(conn net.Conn) {
-	codec := NewCodec(conn)
-	defer codec.Close()
 	setConnDeadline(conn, deadline)
+	codec, err := negotiateCodec(conn)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	defer codec.Close()
+	if !s.wireAllowed(codec.Encoding()) {
+		_ = codec.Send(Message{Type: TypeError,
+			Detail: fmt.Sprintf("wire encoding %s not accepted (server policy: %s)", codec.Encoding(), s.opts.Wire)})
+		return
+	}
 	hello, err := codec.Recv()
 	if err != nil || hello.Type != TypeHello || hello.Tenant == "" {
 		_ = codec.Send(Message{Type: TypeError, Detail: "expected hello with tenant name"})
 		return
 	}
-	sess := &session{tenant: hello.Tenant, racks: make(map[string]int, len(hello.Racks)), codec: codec}
+	sess := &session{
+		tenant: hello.Tenant,
+		racks:  make(map[string]int, len(hello.Racks)),
+		codec:  codec,
+		conn:   conn,
+		queue:  make(chan queuedMsg, s.opts.QueueDepth),
+		quit:   make(chan struct{}),
+	}
 	for _, id := range hello.Racks {
 		idx, ok := s.resolve(id)
 		if !ok {
@@ -244,7 +411,7 @@ func (s *Server) handle(conn net.Conn) {
 		// A live duplicate is rejected; an expired one is a half-open
 		// leftover of a dead connection — evict it so the reconnecting
 		// tenant is not locked out until the next reaper sweep.
-		if time.Since(old.lastSeen) <= s.opts.SessionTTL {
+		if old.idleFor(time.Now()) <= s.opts.SessionTTL {
 			s.mu.Unlock()
 			_ = codec.Send(Message{Type: TypeError, Detail: "tenant already connected"})
 			return
@@ -254,18 +421,24 @@ func (s *Server) handle(conn net.Conn) {
 		s.met.sessionReaped()
 		evict = old
 	}
-	sess.lastSeen = time.Now()
+	sess.touch()
 	s.sessions[hello.Tenant] = sess
 	s.met.sessionOpened()
 	s.met.setSessions(len(s.sessions))
 	s.mu.Unlock()
 	if evict != nil {
 		s.logf("proto: session %s expired, evicted by re-hello", hello.Tenant)
-		_ = evict.codec.Close()
+		s.dropSession(evict)
 	}
-	_ = sess.send(Message{Type: TypeHeartBeat, Tenant: hello.Tenant})
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.writeLoop(sess)
+	}()
+	s.enqueue(sess, queuedMsg{typ: TypeHeartBeat})
 
 	defer func() {
+		s.dropSession(sess)
 		s.mu.Lock()
 		// Only remove the entry if it is still ours: a reaper eviction
 		// followed by a re-hello may have installed a fresh session under
@@ -285,31 +458,230 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
-		s.touch(sess)
+		sess.touch()
 		switch msg.Type {
 		case TypeHeartBeat:
-			_ = sess.send(Message{Type: TypeHeartBeat, Tenant: hello.Tenant, Slot: msg.Slot})
+			s.enqueue(sess, queuedMsg{typ: TypeHeartBeat, slot: msg.Slot})
 		case TypeBid:
 			if err := s.acceptBids(sess, msg); err != nil {
-				_ = sess.send(Message{Type: TypeError, Slot: msg.Slot, Detail: err.Error()})
+				s.enqueue(sess, queuedMsg{typ: TypeError, slot: msg.Slot, detail: err.Error()})
 			}
 		default:
-			_ = sess.send(Message{Type: TypeError, Detail: fmt.Sprintf("unexpected %q", msg.Type)})
+			s.enqueue(sess, queuedMsg{typ: TypeError, detail: fmt.Sprintf("unexpected %q", msg.Type)})
 		}
 	}
 }
 
-// touch refreshes the session's liveness timestamp.
-func (s *Server) touch(sess *session) {
-	s.mu.Lock()
-	sess.lastSeen = time.Now()
-	s.mu.Unlock()
+// dropSession tears a session's transport down: the writer goroutine is
+// told to exit, the connection is closed (unblocking both the reader loop
+// and any in-flight write), and no further messages can be enqueued. It is
+// idempotent and safe from any goroutine; the Section III-C contract is
+// that the dropped tenant simply has no spot capacity until it reconnects.
+func (s *Server) dropSession(sess *session) {
+	sess.qmu.Lock()
+	if sess.dropped {
+		sess.qmu.Unlock()
+		return
+	}
+	sess.dropped = true
+	sess.qmu.Unlock()
+	close(sess.quit)
+	_ = sess.codec.Close()
 }
 
-func (sess *session) send(m Message) error {
-	sess.sendMu.Lock()
-	defer sess.sendMu.Unlock()
-	return sess.codec.Send(m)
+// enqueue hands one outbound message to the session's writer. It never
+// blocks: a full queue means the peer is not draining fast enough — the
+// slow-consumer policy drops the whole session to the no-spot default
+// rather than letting it stall the market loop.
+func (s *Server) enqueue(sess *session, qm queuedMsg) bool {
+	sess.qmu.Lock()
+	if sess.dropped {
+		sess.qmu.Unlock()
+		s.recycle(qm.grants)
+		return false
+	}
+	select {
+	case sess.queue <- qm:
+		sess.qmu.Unlock()
+		s.met.queueDepth(+1)
+		return true
+	default:
+		sess.qmu.Unlock()
+		s.recycle(qm.grants)
+		s.met.outboundDropped(dropQueueFull)
+		if qm.typ == TypePrice || qm.typ == TypeBudgetReset {
+			s.met.broadcast(false)
+		}
+		s.logf("proto: session %s outbound queue full, dropping slow consumer", sess.tenant)
+		s.dropSession(sess)
+		return false
+	}
+}
+
+// writeLoop drains one session's outbound queue, applying the write
+// deadline to every message. A failed or expired write drops the session;
+// the reader loop then observes the closed connection and cleans up.
+func (s *Server) writeLoop(sess *session) {
+	for {
+		select {
+		case qm := <-sess.queue:
+			s.met.queueDepth(-1)
+			if err := s.writeOne(sess, qm); err != nil {
+				var nerr net.Error
+				if errors.As(err, &nerr) && nerr.Timeout() {
+					s.met.sendDeadlineExpired()
+				}
+				if qm.typ == TypePrice || qm.typ == TypeBudgetReset {
+					s.logf("proto: broadcast to %s failed: %v", sess.tenant, err)
+				}
+				s.met.outboundDropped(dropWriteError)
+				s.dropSession(sess)
+			}
+		case <-sess.quit:
+			// Final drain: release pooled buffers and settle the depth
+			// gauge. enqueue cannot add more once dropped is set.
+			for {
+				select {
+				case qm := <-sess.queue:
+					s.met.queueDepth(-1)
+					s.recycle(qm.grants)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// writeOne encodes and sends one queued message, recycling its grant
+// buffer and recording the broadcast outcome.
+func (s *Server) writeOne(sess *session, qm queuedMsg) error {
+	msg := Message{Type: qm.typ, Slot: qm.slot, Price: qm.price, Detail: qm.detail}
+	if qm.typ != TypeError {
+		msg.Tenant = sess.tenant
+	}
+	if qm.grants != nil {
+		msg.Grants = *qm.grants
+	}
+	if sess.conn != nil {
+		_ = sess.conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+	}
+	err := sess.codec.Send(msg)
+	s.recycle(qm.grants)
+	if qm.typ == TypePrice || qm.typ == TypeBudgetReset {
+		s.met.broadcast(err == nil)
+		if err == nil {
+			s.met.broadcastEncoded(sess.codec.Encoding())
+		}
+	}
+	return err
+}
+
+// grantBuf fetches a pooled grant slice (length 0).
+func (s *Server) grantBuf() *[]Grant {
+	s.fmu.Lock()
+	if n := len(s.free); n > 0 {
+		p := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.fmu.Unlock()
+		*p = (*p)[:0]
+		return p
+	}
+	s.fmu.Unlock()
+	return new([]Grant)
+}
+
+// recycle returns a grant buffer to the freelist (nil is a no-op).
+func (s *Server) recycle(p *[]Grant) {
+	if p == nil {
+		return
+	}
+	s.fmu.Lock()
+	s.free = append(s.free, p)
+	s.fmu.Unlock()
+}
+
+// snapshotSessions refills the reusable broadcast session snapshot.
+// Callers must hold bmu.
+func (s *Server) snapshotSessions() []*session {
+	s.mu.Lock()
+	s.sessSnap = s.sessSnap[:0]
+	for _, sess := range s.sessions {
+		s.sessSnap = append(s.sessSnap, sess)
+	}
+	s.mu.Unlock()
+	return s.sessSnap
+}
+
+// Broadcast sends the clearing price and each tenant's own grants for the
+// slot. rackID maps market indices back to wire IDs. The send itself is
+// asynchronous per session (bounded queue + writer goroutine), so the call
+// costs one enqueue per session regardless of peer round-trip times.
+// Tenants whose queue is full or whose connection fails are dropped (they
+// fall back to no spot capacity).
+func (s *Server) Broadcast(slot int, price float64, allocs []core.Allocation, rackID func(int) string) {
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	// Group grants by tenant into pooled buffers. Map entries persist
+	// across slots holding nil between broadcasts, so the steady-state
+	// grouping allocates nothing.
+	for _, a := range allocs {
+		p := s.perTenant[a.Tenant]
+		if p == nil {
+			p = s.grantBuf()
+			s.perTenant[a.Tenant] = p
+			s.bTenants = append(s.bTenants, a.Tenant)
+		}
+		*p = append(*p, Grant{Rack: rackID(a.Rack), Watts: a.Watts})
+	}
+	for _, sess := range s.snapshotSessions() {
+		var gb *[]Grant
+		if p := s.perTenant[sess.tenant]; p != nil {
+			gb = p
+			s.perTenant[sess.tenant] = nil
+		}
+		s.enqueue(sess, queuedMsg{typ: TypePrice, slot: slot, price: price, grants: gb})
+	}
+	// Grants for tenants with no live session are released unsent.
+	for _, t := range s.bTenants {
+		if p := s.perTenant[t]; p != nil {
+			s.recycle(p)
+			s.perTenant[t] = nil
+		}
+	}
+	s.bTenants = s.bTenants[:0]
+}
+
+// BroadcastBudgetReset pushes emergency budget resets to the tenants that
+// own the affected racks: each session receives one budget_reset message
+// carrying only its own racks' new budgets (watts), routed through the
+// rack registrations from its hello. Sessions owning none of the reset
+// racks receive nothing; like price broadcasts the sends are asynchronous,
+// and a failed session falls back to the operator-side rack PDU budget,
+// which still enforces the cap.
+func (s *Server) BroadcastBudgetReset(slot int, budgets map[int]float64) {
+	if len(budgets) == 0 {
+		return
+	}
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	for _, sess := range s.snapshotSessions() {
+		var gb *[]Grant
+		// sess.racks is written only during the hello handshake, before the
+		// session is published, so reading it here is race-free.
+		for wireID, idx := range sess.racks {
+			if watts, ok := budgets[idx]; ok {
+				if gb == nil {
+					gb = s.grantBuf()
+				}
+				*gb = append(*gb, Grant{Rack: wireID, Watts: watts})
+			}
+		}
+		if gb == nil {
+			continue
+		}
+		s.enqueue(sess, queuedMsg{typ: TypeBudgetReset, slot: slot, grants: gb})
+	}
 }
 
 func (s *Server) acceptBids(sess *session, msg Message) error {
@@ -419,77 +791,16 @@ func (s *Server) PendingBidSlots() int {
 	return len(s.bids)
 }
 
-// Broadcast sends the clearing price and each tenant's own grants for the
-// slot. rackID maps market indices back to wire IDs. Tenants whose
-// connection fails are skipped (they fall back to no spot capacity).
-func (s *Server) Broadcast(slot int, price float64, allocs []core.Allocation, rackID func(int) string) {
-	perTenant := make(map[string][]Grant)
-	for _, a := range allocs {
-		perTenant[a.Tenant] = append(perTenant[a.Tenant], Grant{Rack: rackID(a.Rack), Watts: a.Watts})
-	}
-	s.mu.Lock()
-	sessions := make([]*session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		sessions = append(sessions, sess)
-	}
-	s.mu.Unlock()
-	for _, sess := range sessions {
-		msg := Message{Type: TypePrice, Tenant: sess.tenant, Slot: slot, Price: price, Grants: perTenant[sess.tenant]}
-		if err := sess.send(msg); err != nil {
-			s.met.broadcast(false)
-			s.logf("proto: broadcast to %s failed: %v", sess.tenant, err)
-		} else {
-			s.met.broadcast(true)
-		}
-	}
-}
-
-// BroadcastBudgetReset pushes emergency budget resets to the tenants that
-// own the affected racks: each session receives one budget_reset message
-// carrying only its own racks' new budgets (watts), routed through the
-// rack registrations from its hello. Sessions owning none of the reset
-// racks receive nothing; send failures are skipped exactly like price
-// broadcasts — the operator-side rack PDU budget still enforces the cap.
-func (s *Server) BroadcastBudgetReset(slot int, budgets map[int]float64) {
-	if len(budgets) == 0 {
-		return
-	}
-	s.mu.Lock()
-	sessions := make([]*session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		sessions = append(sessions, sess)
-	}
-	s.mu.Unlock()
-	for _, sess := range sessions {
-		var grants []Grant
-		// sess.racks is written only during the hello handshake, before the
-		// session is published, so reading it here is race-free.
-		for wireID, idx := range sess.racks {
-			if watts, ok := budgets[idx]; ok {
-				grants = append(grants, Grant{Rack: wireID, Watts: watts})
-			}
-		}
-		if len(grants) == 0 {
-			continue
-		}
-		msg := Message{Type: TypeBudgetReset, Tenant: sess.tenant, Slot: slot, Grants: grants}
-		if err := sess.send(msg); err != nil {
-			s.met.broadcast(false)
-			s.logf("proto: budget reset to %s failed: %v", sess.tenant, err)
-		} else {
-			s.met.broadcast(true)
-		}
-	}
-}
-
-// Sessions returns the names of currently connected tenants.
+// Sessions returns the names of currently connected tenants, sorted — map
+// iteration order must never leak into logs or tests.
 func (s *Server) Sessions() []string {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make([]string, 0, len(s.sessions))
 	for name := range s.sessions {
 		out = append(out, name)
 	}
+	s.mu.Unlock()
+	sort.Strings(out)
 	return out
 }
 
@@ -507,9 +818,12 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	close(s.stop)
-	err := s.ln.Close()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
 	for _, sess := range sessions {
-		_ = sess.codec.Close()
+		s.dropSession(sess)
 	}
 	s.wg.Wait()
 	return err

@@ -70,6 +70,14 @@ type NetRunOptions struct {
 	// Reconnect enables tenant auto-reconnect with backoff (see
 	// proto.ClientOptions).
 	Reconnect bool
+	// Wire selects every tenant client's wire encoding (default
+	// proto.WireJSON). The server accepts both encodings regardless — it
+	// answers each client in whichever encoding it opened with.
+	Wire proto.Encoding
+	// WireFor, if non-nil, selects the wire encoding per agent index,
+	// overriding Wire — the mixed-fleet interop hook (some tenants on
+	// legacy JSON, some on binary, one market).
+	WireFor func(agentIdx int) proto.Encoding
 	// SessionTTL is the server-side half-open session expiry (default
 	// 10×SlotLen).
 	SessionTTL time.Duration
@@ -427,6 +435,12 @@ func runNetTenant(a tenant.Agent, topo *power.Topology, addr string, clock *prot
 	for _, r := range a.Racks() {
 		rackIDs = append(rackIDs, topo.Racks[r].ID)
 	}
+	wire := opts.Wire
+	if opts.WireFor != nil {
+		// seed is the agent index (see the NetRun fan-out), so WireFor can
+		// mix encodings per tenant within one market.
+		wire = opts.WireFor(int(seed))
+	}
 	copts := proto.ClientOptions{
 		Reconnect:        opts.Reconnect,
 		BackoffBase:      opts.SlotLen / 8,
@@ -435,6 +449,7 @@ func runNetTenant(a tenant.Agent, topo *power.Topology, addr string, clock *prot
 		Seed:             seed,
 		HandshakeTimeout: 2 * opts.SlotLen,
 		Dialer:           inj.Dial,
+		Wire:             wire,
 		Metrics:          pm,
 	}
 	if opts.Emergency != nil {

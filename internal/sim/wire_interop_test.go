@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"spotdc/internal/audit"
+	"spotdc/internal/metrics"
+	"spotdc/internal/proto"
+)
+
+// wiredRun executes one fault-free seeded networked run with the given wire
+// selection, capturing the journal and the full metrics plane.
+func wiredRun(t *testing.T, wire proto.Encoding, wireFor func(int) proto.Encoding) (*NetResult, *metrics.JournalHeader, []metrics.SlotEvent, *metrics.Registry) {
+	t.Helper()
+	// 75ms slots, not the 15ms the market smokes use: under -race on a
+	// small box, instrumented JSON encode/decode for a full fleet can
+	// overrun a short slot, and then the comparison measures CPU headroom
+	// instead of cross-encoding determinism.
+	sc := testbedScenario(t, TestbedOptions{Seed: 17, Slots: 40})
+	reg := metrics.NewRegistry()
+	var buf bytes.Buffer
+	res, err := NetRun(sc, NetRunOptions{
+		SlotLen:   75 * time.Millisecond,
+		Reconnect: true,
+		Wire:      wire,
+		WireFor:   wireFor,
+		Registry:  reg,
+		Journal:   metrics.NewJournal(&buf),
+		Audit:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, events, err := metrics.ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wall-clock stamps and bid arrival order are the only legitimately
+	// run-dependent fields: concurrent tenants race to submit within a
+	// slot, so BidSet/GrantSet are journaled in arrival order even between
+	// two runs of the same encoding. Values must still match exactly.
+	for i := range events {
+		ev := &events[i]
+		ev.UnixMicros = 0
+		ev.ClearMicros = 0
+		sort.Slice(ev.BidSet, func(a, b int) bool { return ev.BidSet[a].Rack < ev.BidSet[b].Rack })
+		sort.Slice(ev.GrantSet, func(a, b int) bool { return ev.GrantSet[a].Rack < ev.GrantSet[b].Rack })
+	}
+	return res, hdr, events, reg
+}
+
+// interopCounters is the metric subset that must be bit-identical across
+// wire encodings on a fault-free run: structural counters only, nothing
+// downstream of wall-clock timing (bids_accepted tracks bid arrival, and
+// broadcast ok/failed can tip on a send racing a timed-out tenant's
+// teardown — those get per-run accounting checks instead).
+func interopCounters(t *testing.T, reg *metrics.Registry) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	read := func(key, name string, labels ...string) {
+		v, ok := reg.Value(name, labels...)
+		if !ok {
+			t.Fatalf("metric %s %v not registered", name, labels)
+		}
+		out[key] = v
+	}
+	read("sessions_opened", "spotdc_proto_sessions_opened_total")
+	read("queue_drops_full", "spotdc_proto_outbound_drops_total", "full")
+	read("slots_cleared", "spotdc_operator_slots_total", "cleared")
+	return out
+}
+
+// checkBroadcastAccounting pins the fan-out's delivery bounds on one run:
+// every slot enqueues one outbound price per session, each landing as
+// sent-ok, failed, or dropped — never more than enqueued, and at most the
+// final slot's worth may be lost to tenants tearing down as it is sent.
+func checkBroadcastAccounting(t *testing.T, name string, reg *metrics.Registry, slots, sessions int) {
+	t.Helper()
+	ok, _ := reg.Value("spotdc_proto_broadcasts_total", "ok")
+	failed, _ := reg.Value("spotdc_proto_broadcasts_total", "failed")
+	dropFull, _ := reg.Value("spotdc_proto_outbound_drops_total", "full")
+	dropErr, _ := reg.Value("spotdc_proto_outbound_drops_total", "error")
+	if got, max := ok+failed+dropFull+dropErr, float64(slots*sessions); got > max {
+		t.Errorf("%s fleet: broadcast accounting ok(%v)+failed(%v)+dropped(%v+%v) = %v, more than the %v enqueued",
+			name, ok, failed, dropFull, dropErr, got, max)
+	}
+	if ok < float64((slots-1)*sessions) {
+		t.Errorf("%s fleet: only %v of %d broadcasts delivered", name, ok, slots*sessions)
+	}
+}
+
+// TestMixedFleetInteropMatchesAllJSON is the mixed-fleet e2e: legacy JSON
+// tenants and binary tenants share one seeded market, and the run must be
+// bit-identical — grants, revenue, journal, throughput metrics — to the
+// same scenario on an all-JSON fleet, and to an all-binary one. The wire
+// encoding must be invisible to the market.
+func TestMixedFleetInteropMatchesAllJSON(t *testing.T) {
+	jsonRes, jsonHdr, jsonEvents, jsonReg := wiredRun(t, proto.WireJSON, nil)
+	mixedRes, mixedHdr, mixedEvents, mixedReg := wiredRun(t, proto.WireJSON, func(i int) proto.Encoding {
+		if i%2 == 1 {
+			return proto.WireBinary
+		}
+		return proto.WireJSON
+	})
+	binRes, binHdr, binEvents, binReg := wiredRun(t, proto.WireBinary, nil)
+
+	if jsonRes.Cleared != jsonRes.Slots || jsonRes.SlotErrors != 0 {
+		t.Fatalf("baseline run degraded: cleared %d/%d, errors %d — the comparison below would be vacuous",
+			jsonRes.Cleared, jsonRes.Slots, jsonRes.SlotErrors)
+	}
+	checkBroadcastAccounting(t, "json", jsonReg, jsonRes.Slots, len(jsonRes.Tenants))
+	// The contract under test is the encoding's: with the same bids on the
+	// table, the market's outcome — price, grants, revenue, predictions —
+	// is bit-identical whatever wire the bids and broadcasts rode. Which
+	// slot a bid *arrives* in is a wall-clock property of the real-TCP
+	// harness, not of the encoding: under the race detector on a small box
+	// a submission can slip past its slot in any run, JSON or binary. So
+	// slots whose (sorted) bid sets differ between runs are tolerated up to
+	// a small cap, and every slot with matching bid sets must match
+	// bit-for-bit across the board.
+	for name, run := range map[string]struct {
+		res    *NetResult
+		hdr    *metrics.JournalHeader
+		events []metrics.SlotEvent
+		reg    *metrics.Registry
+	}{
+		"mixed":  {mixedRes, mixedHdr, mixedEvents, mixedReg},
+		"binary": {binRes, binHdr, binEvents, binReg},
+	} {
+		if run.res.Cleared != jsonRes.Cleared || run.res.SlotErrors != jsonRes.SlotErrors {
+			t.Errorf("%s fleet: cleared/errors %d/%d, json fleet %d/%d",
+				name, run.res.Cleared, run.res.SlotErrors, jsonRes.Cleared, jsonRes.SlotErrors)
+		}
+		if !reflect.DeepEqual(run.hdr, jsonHdr) {
+			t.Errorf("%s fleet: journal header diverges", name)
+		}
+		if len(run.events) != len(jsonEvents) {
+			t.Fatalf("%s fleet: %d journal events, json fleet %d", name, len(run.events), len(jsonEvents))
+		}
+		timingMisses := 0
+		for i := range jsonEvents {
+			if !reflect.DeepEqual(run.events[i].BidSet, jsonEvents[i].BidSet) {
+				timingMisses++
+				continue
+			}
+			if !reflect.DeepEqual(run.events[i], jsonEvents[i]) {
+				t.Errorf("%s fleet: slot %d took the same bids but diverged:\n json %+v\n %s %+v",
+					name, i, jsonEvents[i], name, run.events[i])
+			}
+		}
+		// More than a third of slots diverging is not scheduling jitter.
+		if max := len(jsonEvents) / 3; timingMisses > max {
+			t.Errorf("%s fleet: %d of %d slots took different bid sets than the json fleet (allow ≤%d)",
+				name, timingMisses, len(jsonEvents), max)
+		}
+		checkBroadcastAccounting(t, name, run.reg, jsonRes.Slots, len(jsonRes.Tenants))
+		for _, tn := range jsonRes.Tenants {
+			other, ok := run.res.Tenants[tn.Name]
+			if !ok {
+				t.Errorf("%s fleet: tenant %s missing", name, tn.Name)
+				continue
+			}
+			// BidSlots is trace-driven and SubmitFailures needs a dead
+			// session — both deterministic. GrantSlots/NoSpotSlots split on
+			// receipt timing, so only their sum is pinned.
+			if other.BidSlots != tn.BidSlots || other.SubmitFailures != tn.SubmitFailures {
+				t.Errorf("%s fleet: tenant %s stats %+v, json fleet %+v", name, tn.Name, other, tn)
+			}
+			if other.GrantSlots+other.NoSpotSlots != tn.GrantSlots+tn.NoSpotSlots {
+				t.Errorf("%s fleet: tenant %s awaited %d slots, json fleet %d", name, tn.Name,
+					other.GrantSlots+other.NoSpotSlots, tn.GrantSlots+tn.NoSpotSlots)
+			}
+		}
+		got, want := interopCounters(t, run.reg), interopCounters(t, jsonReg)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s fleet: metrics %v, json fleet %v", name, got, want)
+		}
+	}
+
+	// The encoding split itself must be visible in the observability plane:
+	// the per-encoding broadcast counters partition the successful sends.
+	jsonSends, _ := mixedReg.Value("spotdc_proto_broadcasts_by_encoding_total", "json")
+	binSends, _ := mixedReg.Value("spotdc_proto_broadcasts_by_encoding_total", "binary")
+	allOK, _ := mixedReg.Value("spotdc_proto_broadcasts_total", "ok")
+	if jsonSends == 0 || binSends == 0 || jsonSends+binSends != allOK {
+		t.Errorf("mixed fleet broadcasts by encoding: json %v + binary %v != ok %v", jsonSends, binSends, allOK)
+	}
+}
+
+// TestSmokeWire is the binary-wire acceptance smoke (make smoke-wire): the
+// seeded 220-slot golden fault schedule runs entirely on the binary
+// encoding, journals every slot, and the offline auditor replays every
+// cleared slot bit-identically through both engines.
+func TestSmokeWire(t *testing.T) {
+	sc := testbedScenario(t, TestbedOptions{Seed: 17, Slots: 220})
+	var buf bytes.Buffer
+	journal := metrics.NewJournal(&buf)
+	res, err := NetRun(sc, NetRunOptions{
+		SlotLen: 15 * time.Millisecond,
+		BidFaults: proto.FaultPlan{
+			Seed: 1, DropProb: 0.08, DelayProb: 0.05, MaxDelay: 3 * time.Millisecond, SeverProb: 0.02,
+		},
+		BroadcastFaults: proto.FaultPlan{
+			Seed: 2, DropProb: 0.05, DelayProb: 0.05, MaxDelay: 3 * time.Millisecond, SeverProb: 0.01,
+		},
+		ErrorSlots:             []int{60},
+		MaxConsecutiveFailures: 5,
+		Reconnect:              true,
+		SessionTTL:             150 * time.Millisecond,
+		Wire:                   proto.WireBinary,
+		Journal:                journal,
+		Audit:                  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cleared != 219 || res.SlotErrors != 1 {
+		t.Fatalf("cleared/errors = %d/%d, want 219/1", res.Cleared, res.SlotErrors)
+	}
+	if journal.Events() != 220 || !journal.HasHeader() {
+		t.Fatalf("journal: %d events, header %v", journal.Events(), journal.HasHeader())
+	}
+	rep, err := audit.Replay(bytes.NewReader(buf.Bytes()), audit.Options{EngineCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range rep.Violations {
+		if i >= 10 {
+			t.Errorf("... and %d more", len(rep.Violations)-10)
+			break
+		}
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Slots != 220 || rep.Cleared != 219 || rep.Degraded != 1 {
+		t.Errorf("report slots/cleared/degraded = %d/%d/%d, want 220/219/1", rep.Slots, rep.Cleared, rep.Degraded)
+	}
+	if rep.Replayed != rep.Cleared {
+		t.Errorf("replayed %d of %d cleared slots", rep.Replayed, rep.Cleared)
+	}
+}

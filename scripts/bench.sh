@@ -37,6 +37,11 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
 /^goarch:/ { goarch = $2 }
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
+	# Wire-layer benchmarks carry their encoding in the name; surface the
+	# set covered by this run in the metadata block.
+	if ($1 ~ /\/json/) encodings["json"] = 1
+	if ($1 ~ /\/binary/ || $1 ~ /^BenchmarkBroadcast\//) encodings["binary"] = 1
+	if ($1 ~ /SerialJSON/) encodings["json"] = 1
 	name = $1; ns = ""; bytes = ""; allocs = ""
 	for (i = 2; i < NF; i++) {
 		if ($(i + 1) == "ns/op") ns = $i
@@ -59,6 +64,10 @@ END {
 	printf "  \"goos\": \"%s\",\n", goos
 	printf "  \"goarch\": \"%s\",\n", goarch
 	printf "  \"cpu\": \"%s\",\n", cpu
+	enc = ""
+	if ("json" in encodings) enc = "\"json\""
+	if ("binary" in encodings) enc = enc (enc == "" ? "" : ", ") "\"binary\""
+	printf "  \"wire_encodings\": [%s],\n", enc
 	printf "  \"benchmarks\": {\n"
 	for (i = 1; i <= n; i++) printf "%s%s\n", lines[i], (i < n ? "," : "")
 	printf "  }\n}\n"

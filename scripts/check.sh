@@ -28,10 +28,16 @@
 #      (internal/audit) replays every cleared slot bit-identically
 #      through both clearing engines, re-checking the conservation
 #      invariants end to end (make audit-replay)
-#   9. a one-iteration smoke of the Fig. 7(b) clearing benchmark, which
+#   9. the wire smoke: the seeded 220-slot fault schedule entirely on the
+#      binary encoding with an audit replay, plus the mixed-fleet interop
+#      contract — JSON and binary tenants in one market produce the same
+#      journal and metrics as an all-JSON fleet (make smoke-wire)
+#  10. a one-iteration smoke of the Fig. 7(b) clearing benchmark, which
 #      doubles as a regression tripwire for the allocation-free hot loop
 #      (the alloc budgets themselves are enforced by TestClearAllocBudget
-#      and, with instrumentation on, TestClearAllocBudgetInstrumented)
+#      and, with instrumentation on, TestClearAllocBudgetInstrumented),
+#      and of the wire-layer benchmarks (their steady-state alloc budgets
+#      are enforced by TestWireAllocBudget)
 #
 # Tier-1 (ROADMAP.md) remains `go build ./... && go test ./...`; this script
 # is a superset of it.
@@ -55,6 +61,10 @@ echo '== smoke: emergency loop on a networked market'
 go test -race -count=1 -run 'TestNetRunEmergency' ./internal/sim/
 echo '== audit replay: seeded journal through both engines'
 go test -race -count=1 -run 'TestGoldenNetRunJournalReplay' ./internal/audit/
+echo '== smoke: binary wire + mixed-fleet interop'
+go test -race -count=1 -run 'TestSmokeWire|TestMixedFleetInteropMatchesAllJSON' ./internal/sim/
 echo '== bench smoke: Fig. 7(b) clearing'
 go test -run '^$' -bench 'BenchmarkFig7bClearingTime' -benchtime 1x -benchmem .
+echo '== bench smoke: wire codec + broadcast fan-out'
+go test -run '^$' -bench 'BenchmarkCodec|BenchmarkBroadcast' -benchtime 1x -benchmem ./internal/proto/
 echo 'check: OK'

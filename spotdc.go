@@ -331,7 +331,32 @@ type (
 	Grant = proto.Grant
 	// RackResolver maps wire rack IDs to market rack indices.
 	RackResolver = proto.RackResolver
+	// WireEncoding selects a client's frame encoding
+	// (MarketClientOptions.Wire): WireJSON or WireBinary.
+	WireEncoding = proto.Encoding
+	// MarketWirePolicy restricts which encodings a server accepts
+	// (MarketServerOptions.Wire); the default accepts both.
+	MarketWirePolicy = proto.WirePolicy
 )
+
+// Wire encodings and server acceptance policies. The server answers each
+// connection in whichever encoding it opened with, so JSON and binary
+// tenants interoperate in one fleet.
+const (
+	WireJSON   = proto.WireJSON
+	WireBinary = proto.WireBinary
+
+	WireAny        = proto.WireAny
+	WireJSONOnly   = proto.WireJSONOnly
+	WireBinaryOnly = proto.WireBinaryOnly
+)
+
+// ParseWireEncoding parses a -wire flag value ("json" or "binary").
+func ParseWireEncoding(s string) (WireEncoding, error) { return proto.ParseEncoding(s) }
+
+// ParseMarketWirePolicy parses a server -wire flag value ("any", "json" or
+// "binary").
+func ParseMarketWirePolicy(s string) (MarketWirePolicy, error) { return proto.ParseWirePolicy(s) }
 
 // ErrNoPrice reports a missed price broadcast; the tenant then defaults to
 // no spot capacity (Section III-C).
