@@ -22,6 +22,13 @@
 #                       schedule entirely on the binary encoding, plus the
 #                       mixed-fleet JSON/binary interop contract, race
 #                       detector on
+#   make smoke-crash    crash-injection smoke run: the seeded 220-slot
+#                       networked market killed at randomized slot
+#                       boundaries (one kill tearing the WAL tail) and
+#                       recovered from the state directory each time must
+#                       produce books, responder state, invoices and a
+#                       slot journal bit-identical to an uninterrupted
+#                       run, race detector on
 #   make bench-clearing scan vs exact Fig. 7(b) clearing-time comparison
 #   make bench-proto    wire-layer benchmarks: codec cost per encoding and
 #                       the concurrent broadcast fan-out vs the serial JSON
@@ -31,7 +38,7 @@
 
 GO ?= go
 
-.PHONY: check test smoke-faults smoke-metrics smoke-emergency smoke-wire audit-replay bench bench-clearing bench-proto
+.PHONY: check test smoke-faults smoke-metrics smoke-emergency smoke-wire smoke-crash audit-replay bench bench-clearing bench-proto
 
 check:
 	./scripts/check.sh
@@ -51,6 +58,9 @@ smoke-emergency:
 
 smoke-wire:
 	$(GO) test -race -count=1 -v -run 'TestSmokeWire|TestMixedFleetInteropMatchesAllJSON' ./internal/sim/
+
+smoke-crash:
+	$(GO) test -race -count=1 -v -run 'TestCrash' ./internal/sim/ ./internal/billing/
 
 audit-replay:
 	$(GO) test -race -count=1 -v -run 'TestGoldenNetRunJournalReplay' ./internal/audit/

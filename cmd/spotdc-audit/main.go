@@ -57,6 +57,9 @@ func main() {
 		}
 		fmt.Printf("%s: %s, %d slots (%d cleared, %d degraded), %d replayed, %d outcome-only, revenue $%.6f\n",
 			path, schema, rep.Slots, rep.Cleared, rep.Degraded, rep.Replayed, rep.OutcomeOnly, rep.TotalRevenue)
+		if rep.TornTail {
+			fmt.Printf("%s: WARNING torn final line dropped (writer crashed mid-append)\n", path)
+		}
 		if rep.OK() {
 			fmt.Printf("%s: OK — every invariant held\n", path)
 			continue

@@ -11,7 +11,7 @@
 //
 //	spotdc-operator [-listen 127.0.0.1:7070] [-slot-seconds 10] [-slots N] \
 //	    [-wire any|json|binary] [-metrics-addr host:port] [-events FILE] \
-//	    [-audit] [-emergency] [-v]
+//	    [-state-dir DIR] [-fsync record|slot|timer] [-audit] [-emergency] [-v]
 //
 // The server speaks both wire encodings, answering each connection in
 // whichever encoding it opened with (JSON or the compact binary frame); the
@@ -33,6 +33,18 @@
 // The demo's synthesized background trace stays below breaker capacity, so
 // excursions come from real telemetry in a production deployment; the flag
 // arms the loop and exercises the budget plumbing end to end.
+//
+// Durability: -state-dir DIR keeps the operator's books in a write-ahead
+// log under DIR — one record per slot boundary, periodic snapshots
+// (-snapshot-every), fsync policy -fsync (record, slot or timer; see
+// -fsync-interval). On startup the operator recovers whatever a previous
+// process committed and resumes the market at the next slot; torn final
+// records from a crash are truncated and the slot re-runs. With -state-dir
+// the -events journal opens in append mode so one journal file spans
+// restarts (-events-sync forces it to disk every N slots). SIGINT/SIGTERM
+// stop the loop gracefully at the next slot boundary, then drain in order:
+// WAL close (final fsync), journal sync, summaries. A second signal exits
+// immediately.
 package main
 
 import (
@@ -40,6 +52,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"spotdc"
@@ -59,6 +73,11 @@ func main() {
 	breakerCooldown := flag.Int("breaker-cooldown-slots", 0, "slots to hold the breaker open before a half-open probe (0 = stay open)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (e.g. localhost:9090)")
 	eventsFile := flag.String("events", "", "append one JSON slot event per market slot to this file")
+	eventsSync := flag.Int("events-sync", 0, "fsync the -events journal every N slots (0 = only at shutdown)")
+	stateDir := flag.String("state-dir", "", "persist operator state (WAL + snapshots) under this directory and recover from it on startup")
+	fsync := flag.String("fsync", "slot", "WAL fsync policy: record, slot or timer (with -state-dir)")
+	fsyncInterval := flag.Duration("fsync-interval", 0, "background fsync tick for -fsync timer (0 = library default)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "WAL snapshot cadence in committed slots (0 = library default)")
 	auditRun := flag.Bool("audit", false, "re-verify clearing invariants inline on every slot and log violations")
 	emergency := flag.Bool("emergency", false, "arm the emergency responder: reclaim spot capacity and reset rack PDU budgets on capacity excursions")
 	breakerTol := flag.Float64("breaker-tolerance", 0.05, "breaker ride-through tolerance fraction before an excursion is an emergency (with -emergency)")
@@ -84,12 +103,16 @@ func main() {
 		mktMet   *spotdc.MarketMetrics
 		opMet    *spotdc.OperatorMetrics
 		protoMet *spotdc.MarketProtoMetrics
+		walMet   *spotdc.WALMetrics
 	)
 	if *metricsAddr != "" {
 		reg = spotdc.NewMetricsRegistry()
 		mktMet = spotdc.NewMarketMetrics(reg)
 		opMet = spotdc.NewOperatorMetrics(reg)
 		protoMet = spotdc.NewMarketProtoMetrics(reg)
+		if *stateDir != "" {
+			walMet = spotdc.NewWALMetrics(reg)
+		}
 		bound, shutdown, err := spotdc.ServeMetrics(*metricsAddr, reg)
 		if err != nil {
 			log.Fatal(err)
@@ -98,12 +121,27 @@ func main() {
 		log.Printf("spotdc-operator: serving metrics on http://%s/metrics", bound)
 	}
 	if *eventsFile != "" {
-		f, err := os.Create(*eventsFile)
+		// Without durable state each run truncates and starts a fresh
+		// journal; with -state-dir one journal file spans every lifetime of
+		// the operator, so append and skip the header a previous lifetime
+		// already wrote.
+		mode := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		if *stateDir != "" {
+			mode = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		}
+		f, err := os.OpenFile(*eventsFile, mode, 0o644)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		journal = spotdc.NewSlotJournal(f)
+		resumed := false
+		if st, err := f.Stat(); err == nil && st.Size() > 0 {
+			resumed = true
+		}
+		journal = spotdc.NewSlotJournalOpts(f, spotdc.SlotJournalOptions{
+			SyncEvery: *eventsSync,
+			Resumed:   resumed,
+		})
 	}
 	logf := func(string, ...interface{}) {}
 	if *verbose {
@@ -192,6 +230,40 @@ func main() {
 	defer srv.Close()
 	log.Printf("spotdc-operator: serving market on %s, slot length %ds", srv.Addr(), *slotSeconds)
 
+	// -state-dir: open the write-ahead log and recover whatever a previous
+	// process committed — the books resume exactly where they stopped, and
+	// the market resumes at the slot after the last committed record.
+	firstSlot := 0
+	var walLog *spotdc.WriteAheadLog
+	if *stateDir != "" {
+		policy, err := spotdc.ParseWALSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rec *spotdc.WALRecovery
+		walLog, rec, err = spotdc.OpenWAL(spotdc.WALOptions{
+			Dir:           *stateDir,
+			Policy:        policy,
+			TimerInterval: *fsyncInterval,
+			Metrics:       walMet,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		recovered, err := spotdc.RecoverMarketState(rec, op, srv)
+		if err != nil {
+			log.Fatalf("spotdc-operator: state recovery: %v", err)
+		}
+		firstSlot = recovered.NextSlot
+		if firstSlot > 0 {
+			log.Printf("spotdc-operator: recovered %s: resuming at slot %d (snapshot %v, %d slot records replayed, %d degraded, %d torn tail(s) repaired), spot revenue so far $%.6f",
+				*stateDir, firstSlot, recovered.HadSnapshot, recovered.SlotsReplayed,
+				recovered.DegradedReplayed, recovered.Truncations, op.SpotRevenue())
+		} else {
+			log.Printf("spotdc-operator: fresh state directory %s (fsync policy %s)", *stateDir, policy)
+		}
+	}
+
 	// Background (non-participating) power per PDU.
 	others := make([]*trace.Power, len(topo.PDUs))
 	for m := range others {
@@ -219,8 +291,12 @@ func main() {
 		reading.RackWatts[i] = 0.75 * r.Guaranteed
 	}
 
-	clock, err := spotdc.NewSlotClock(time.Now().Add(time.Duration(*slotSeconds)*time.Second),
-		time.Duration(*slotSeconds)*time.Second)
+	// The epoch is shifted back by the recovered slot count so slot
+	// numbering continues where the previous lifetime stopped, with the
+	// first live slot still a full slot length away.
+	slotLen := time.Duration(*slotSeconds) * time.Second
+	clock, err := spotdc.NewSlotClock(
+		time.Now().Add(slotLen).Add(-time.Duration(firstSlot)*slotLen), slotLen)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -264,11 +340,44 @@ func main() {
 		loop.CheckEmergencies = true
 		loop.BreakerTolerance = *breakerTol
 	}
+	if walLog != nil {
+		loop.Durable = &spotdc.MarketDurability{Log: walLog, SnapshotEvery: *snapshotEvery}
+	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM stops the loop at the
+	// next slot boundary — after that slot's WAL commit, so nothing
+	// acknowledged is lost; a second signal exits immediately.
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		log.Printf("spotdc-operator: %v: stopping at next slot boundary (signal again to exit now)", s)
+		close(stop)
+		s = <-sigs
+		log.Fatalf("spotdc-operator: %v: exiting immediately", s)
+	}()
+	loop.Stop = stop
+
 	n := *slots
 	if n == 0 {
 		n = 1 << 30 // effectively forever
 	}
-	cleared, err := loop.RunSlots(0, n)
+	cleared, err := loop.RunSlots(firstSlot, n)
+
+	// Ordered drain regardless of how the loop ended: make the log durable
+	// first (a sticky WAL error never stopped the market — surface it now),
+	// then flush the journal, then summarize.
+	if walLog != nil {
+		if cerr := walLog.Close(); cerr != nil {
+			log.Printf("spotdc-operator: WAL degraded: %v", cerr)
+		} else {
+			log.Printf("spotdc-operator: state committed through slot %d in %s", firstSlot+cleared+loop.SlotErrors()-1, *stateDir)
+		}
+	}
+	if serr := journal.Sync(); serr != nil {
+		log.Printf("spotdc-operator: slot journal sync: %v", serr)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

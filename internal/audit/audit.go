@@ -89,6 +89,11 @@ type Report struct {
 	// events with InputsTruncated).
 	Replayed    int
 	OutcomeOnly int
+	// TornTail reports that the journal ended in a torn (partially
+	// written) final line — the signature of a crashed writer — which the
+	// reader dropped before checking. Not a violation: every complete
+	// event still verifies, the run just ended mid-append.
+	TornTail bool
 	// TotalRevenue is the compensated sum of per-slot revenue in $ —
 	// callers reconcile it against the operator's or simulator's books.
 	TotalRevenue float64
@@ -112,13 +117,22 @@ func (r *Report) violate(slot int, check, format string, args ...interface{}) {
 	r.Violations = append(r.Violations, Violation{Slot: slot, Check: check, Detail: fmt.Sprintf(format, args...)})
 }
 
-// Replay reads a slot journal and checks it (see CheckJournal).
+// Replay reads a slot journal and checks it (see CheckJournal). A torn
+// final line — a crashed writer's partial append — is dropped and flagged
+// in Report.TornTail rather than failing the read.
 func Replay(in io.Reader, opts Options) (*Report, error) {
-	hdr, events, err := metrics.ReadJournal(in)
+	hdr, events, torn, err := metrics.ReadJournalInfo(in)
 	if err != nil {
 		return nil, err
 	}
-	return CheckJournal(hdr, events, opts)
+	if torn && opts.Logf != nil {
+		opts.Logf("audit: journal tail torn mid-append; dropped partial final line")
+	}
+	rep, err := CheckJournal(hdr, events, opts)
+	if rep != nil {
+		rep.TornTail = torn
+	}
+	return rep, err
 }
 
 // replayer holds the reconstructed market a v2 journal clears against.

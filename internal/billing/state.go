@@ -1,0 +1,83 @@
+// Durable ledger state. The ledger is money: restore must be exact, not
+// approximately exact, so every compensated accumulator serializes as its
+// (sum, comp) pair and a restored ledger renders invoices bit-identical to
+// the one it was captured from — the property the crash-recovery smoke
+// diffs with ==.
+package billing
+
+import (
+	"fmt"
+	"sort"
+
+	"spotdc/internal/operator"
+)
+
+// TenantUsage is one tenant's serialized accumulator state.
+type TenantUsage struct {
+	Tenant        string                 `json:"tenant"`
+	ReservedWatts float64                `json:"reserved_watts"`
+	Hours         operator.NeumaierState `json:"hours"`
+	EnergyKWh     operator.NeumaierState `json:"energy_kwh"`
+	SpotKWh       operator.NeumaierState `json:"spot_kwh"`
+	SpotPaid      operator.NeumaierState `json:"spot_paid"`
+	SpotSlots     int                    `json:"spot_slots"`
+	PeakSpotWatts float64                `json:"peak_spot_watts"`
+}
+
+// LedgerState is a ledger snapshot: pricing plus per-tenant usage, sorted
+// by tenant name so the encoding is deterministic.
+type LedgerState struct {
+	Pricing operator.Pricing `json:"pricing"`
+	Tenants []TenantUsage    `json:"tenants,omitempty"`
+}
+
+// State captures the ledger for durable storage. The result owns its
+// slices and stays valid across further RecordSlot calls.
+func (l *Ledger) State() LedgerState {
+	st := LedgerState{Pricing: l.pricing}
+	if len(l.tenants) > 0 {
+		st.Tenants = make([]TenantUsage, 0, len(l.tenants))
+		for name, u := range l.tenants {
+			st.Tenants = append(st.Tenants, TenantUsage{
+				Tenant:        name,
+				ReservedWatts: u.reservedWatts,
+				Hours:         operator.ExportNeumaier(u.hours),
+				EnergyKWh:     operator.ExportNeumaier(u.energyKWh),
+				SpotKWh:       operator.ExportNeumaier(u.spotKWh),
+				SpotPaid:      operator.ExportNeumaier(u.spotPaid),
+				SpotSlots:     u.spotSlots,
+				PeakSpotWatts: u.peakSpotWatts,
+			})
+		}
+		sort.Slice(st.Tenants, func(i, j int) bool { return st.Tenants[i].Tenant < st.Tenants[j].Tenant })
+	}
+	return st
+}
+
+// RestoreLedger rebuilds a ledger from a captured state. SpotPaidTotal,
+// Invoices, and all further accumulation are bit-identical to the source
+// ledger's.
+func RestoreLedger(st LedgerState) (*Ledger, error) {
+	l, err := NewLedger(st.Pricing)
+	if err != nil {
+		return nil, err
+	}
+	for _, tu := range st.Tenants {
+		if tu.Tenant == "" {
+			return nil, fmt.Errorf("%w: empty tenant name in ledger state", ErrBilling)
+		}
+		if _, dup := l.tenants[tu.Tenant]; dup {
+			return nil, fmt.Errorf("%w: duplicate tenant %q in ledger state", ErrBilling, tu.Tenant)
+		}
+		l.tenants[tu.Tenant] = &usage{
+			reservedWatts: tu.ReservedWatts,
+			hours:         tu.Hours.Restore(),
+			energyKWh:     tu.EnergyKWh.Restore(),
+			spotKWh:       tu.SpotKWh.Restore(),
+			spotPaid:      tu.SpotPaid.Restore(),
+			spotSlots:     tu.SpotSlots,
+			peakSpotWatts: tu.PeakSpotWatts,
+		}
+	}
+	return l, nil
+}

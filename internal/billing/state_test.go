@@ -1,0 +1,108 @@
+package billing
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"spotdc/internal/operator"
+)
+
+// TestLedgerRestoreBitIdenticalAt15000Racks is the durability twin of
+// stats' TestNeumaierBeatsNaiveAt15000Racks: at 15,000 racks the spot
+// totals only hold because the compensation terms do, so a restore that
+// dropped them would render different invoices. The round trip goes
+// through JSON, the encoding the WAL snapshot actually stores.
+func TestLedgerRestoreBitIdenticalAt15000Racks(t *testing.T) {
+	const racks = 15000
+	src, err := NewLedger(operator.DefaultPricing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One long-lived tenant whose books are already large (the big+tiny
+	// Neumaier regression shape), plus many small ones so the state carries
+	// a full-size testbed's worth of entries.
+	if err := src.Register("anchor", 1e9); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.RecordSlot("anchor", 1e9, 1e9, 1e7, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < racks; i++ {
+		name := fmt.Sprintf("rack-%05d", i)
+		if err := src.Register(name, 145); err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 3; s++ {
+			if err := src.RecordSlot(name, 130+float64(i%7), 20+0.1*float64(s), 0.163, 1.0/12); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The anchor's accumulator keeps folding tiny terms into a huge sum —
+		// exactly where naive restoration (Sum() alone) would lose money.
+		if err := src.RecordSlot("anchor", 100, 10, 0.1, 1.0/12); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	data, err := json.Marshal(src.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st LedgerState
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreLedger(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := restored.SpotPaidTotal(), src.SpotPaidTotal(); got != want {
+		t.Fatalf("SpotPaidTotal not bit-identical: %.17g vs %.17g", got, want)
+	}
+	if !reflect.DeepEqual(restored.Invoices(), src.Invoices()) {
+		t.Fatal("restored invoices differ from source")
+	}
+	// The compensation state itself survived: further accumulation stays
+	// bit-identical on both ledgers.
+	for s := 0; s < 100; s++ {
+		for _, l := range []*Ledger{src, restored} {
+			if err := l.RecordSlot("anchor", 100, 10, 0.1, 1.0/12); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if restored.SpotPaidTotal() != src.SpotPaidTotal() {
+		t.Fatal("post-restore accumulation diverged")
+	}
+	inv, err := restored.InvoiceOf("anchor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcInv, err := src.InvoiceOf("anchor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inv, srcInv) {
+		t.Fatal("anchor invoices diverged after post-restore slots")
+	}
+}
+
+func TestRestoreLedgerValidation(t *testing.T) {
+	if _, err := RestoreLedger(LedgerState{}); err == nil {
+		t.Error("zero pricing accepted")
+	}
+	st := LedgerState{
+		Pricing: operator.DefaultPricing(),
+		Tenants: []TenantUsage{{Tenant: "a"}, {Tenant: "a"}},
+	}
+	if _, err := RestoreLedger(st); err == nil {
+		t.Error("duplicate tenant accepted")
+	}
+	st.Tenants = []TenantUsage{{Tenant: ""}}
+	if _, err := RestoreLedger(st); err == nil {
+		t.Error("empty tenant accepted")
+	}
+}

@@ -187,17 +187,36 @@ type SlotEvent struct {
 // concurrent use; each Append writes exactly one line. A nil *Journal is a
 // valid no-op sink, so callers wire it unconditionally.
 type Journal struct {
-	mu     sync.Mutex
-	enc    *json.Encoder
-	n      int
-	header bool
-	err    error
+	mu        sync.Mutex
+	w         io.Writer
+	enc       *json.Encoder
+	n         int
+	syncEvery int
+	header    bool
+	err       error
 }
 
 // NewJournal builds a journal over w (typically an *os.File opened by the
 // -events flag, or a bytes.Buffer in tests).
 func NewJournal(w io.Writer) *Journal {
-	return &Journal{enc: json.NewEncoder(w)}
+	return NewJournalOpts(w, JournalOptions{})
+}
+
+// JournalOptions tunes a journal's durability behavior.
+type JournalOptions struct {
+	// SyncEvery fsyncs the sink after every N successful appends, when the
+	// sink supports it (*os.File does). 0 leaves durability to the OS page
+	// cache — the historical behavior.
+	SyncEvery int
+	// Resumed marks a journal reopened in append mode after a restart: the
+	// header line is already on disk, so HasHeader reports true and the
+	// market loop won't write a duplicate mid-file.
+	Resumed bool
+}
+
+// NewJournalOpts builds a journal over w with explicit durability options.
+func NewJournalOpts(w io.Writer, opts JournalOptions) *Journal {
+	return &Journal{w: w, enc: json.NewEncoder(w), syncEvery: opts.SyncEvery, header: opts.Resumed}
 }
 
 // Append writes one event as a JSON line. The first write error is sticky
@@ -217,6 +236,36 @@ func (j *Journal) Append(ev SlotEvent) error {
 		return err
 	}
 	j.n++
+	if j.syncEvery > 0 && j.n%j.syncEvery == 0 {
+		return j.syncLocked()
+	}
+	return nil
+}
+
+// Sync forces the sink to stable storage when it supports it (*os.File);
+// other sinks are a no-op. Called by graceful shutdown, and automatically
+// every JournalOptions.SyncEvery appends.
+func (j *Journal) Sync() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	s, ok := j.w.(interface{ Sync() error })
+	if !ok {
+		return nil
+	}
+	if err := s.Sync(); err != nil {
+		j.err = err
+		return err
+	}
 	return nil
 }
 
@@ -281,46 +330,69 @@ const maxJournalLine = 64 << 20
 
 // ReadJournal parses a slot journal. The returned header is nil for a v1
 // journal (no header line); events are returned in file order. An unknown
-// schema tag or malformed line fails the whole read: a journal that cannot
-// be parsed completely cannot be audited.
+// schema tag or malformed line in the middle of the file fails the whole
+// read: a journal that cannot be parsed completely cannot be audited. The
+// single exception is a torn FINAL line — the signature of a crash mid-
+// append — which is dropped so a crashed run's journal stays auditable
+// (use ReadJournalInfo to learn whether a tail was dropped).
 func ReadJournal(r io.Reader) (*JournalHeader, []SlotEvent, error) {
+	header, events, _, err := ReadJournalInfo(r)
+	return header, events, err
+}
+
+// ReadJournalInfo is ReadJournal plus a torn-tail report: torn is true when
+// the journal's last line failed to parse and was dropped (truncate-and-
+// warn semantics — the operator died mid-append). A malformed line with
+// further lines after it is still a hard error, not a tear.
+func ReadJournalInfo(r io.Reader) (header *JournalHeader, events []SlotEvent, torn bool, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64<<10), maxJournalLine)
-	var header *JournalHeader
-	var events []SlotEvent
 	line := 0
+	// A parse failure is held pending: fatal only if a later non-empty line
+	// proves the defect was not a torn tail.
+	var pending error
 	for sc.Scan() {
-		line++
 		raw := sc.Bytes()
 		if len(raw) == 0 {
 			continue
 		}
+		if pending != nil {
+			return nil, nil, false, pending
+		}
+		line++
 		if line == 1 {
 			var probe struct {
 				Schema string `json:"schema"`
 			}
 			if err := json.Unmarshal(raw, &probe); err != nil {
-				return nil, nil, fmt.Errorf("metrics: journal line 1: %w", err)
+				pending = fmt.Errorf("metrics: journal line 1: %w", err)
+				continue
 			}
 			if probe.Schema != "" {
 				if probe.Schema != JournalSchemaV2 {
-					return nil, nil, fmt.Errorf("metrics: unsupported journal schema %q (want %q)", probe.Schema, JournalSchemaV2)
+					return nil, nil, false, fmt.Errorf("metrics: unsupported journal schema %q (want %q)", probe.Schema, JournalSchemaV2)
 				}
 				header = &JournalHeader{}
 				if err := json.Unmarshal(raw, header); err != nil {
-					return nil, nil, fmt.Errorf("metrics: journal header: %w", err)
+					return nil, nil, false, fmt.Errorf("metrics: journal header: %w", err)
 				}
 				continue
 			}
 		}
 		var ev SlotEvent
 		if err := json.Unmarshal(raw, &ev); err != nil {
-			return nil, nil, fmt.Errorf("metrics: journal line %d: %w", line, err)
+			pending = fmt.Errorf("metrics: journal line %d: %w", line, err)
+			continue
 		}
 		events = append(events, ev)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("metrics: reading journal: %w", err)
+		return nil, nil, false, fmt.Errorf("metrics: reading journal: %w", err)
 	}
-	return header, events, nil
+	if pending != nil && header == nil && len(events) == 0 {
+		// Nothing valid preceded the defect: that is a file that is not a
+		// journal, not a journal with a torn tail.
+		return nil, nil, false, pending
+	}
+	return header, events, pending != nil, nil
 }

@@ -151,3 +151,91 @@ func TestJournalStickyError(t *testing.T) {
 		t.Errorf("Err() = %v, want %v", j.Err(), boom)
 	}
 }
+
+func TestReadJournalToleratesTornFinalLine(t *testing.T) {
+	in := `{"slot":0,"price":0.05,"sold_watts":10,"revenue":0.0001,"grants":1,"bids":2,"clear_us":9}
+{"slot":1,"price":0.06,"sold_watts":12,"revenue":0.0002,"grants":1,"bids":2,"clear_us":8}
+{"slot":2,"price":0.07,"sold_wat`
+	hdr, events, torn, err := ReadJournalInfo(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("torn tail should not fail the read: %v", err)
+	}
+	if hdr != nil || len(events) != 2 || !torn {
+		t.Fatalf("hdr=%v events=%d torn=%v, want nil/2/true", hdr, len(events), torn)
+	}
+	// ReadJournal drops the tail silently.
+	if _, events, err = ReadJournal(strings.NewReader(in)); err != nil || len(events) != 2 {
+		t.Fatalf("ReadJournal: %d events, %v", len(events), err)
+	}
+}
+
+func TestReadJournalTornOnlyLineIsError(t *testing.T) {
+	// Torn-tail tolerance needs at least one valid line before the tear:
+	// a file whose only line is unparseable — a header torn mid-append, or
+	// a file that was never a journal — is a hard error, not an empty
+	// journal. (spotdc-audit on a garbage file must keep exiting non-zero.)
+	for _, in := range []string{`{"schema":"spotdc/sl`, "garbage\n"} {
+		if _, _, _, err := ReadJournalInfo(strings.NewReader(in)); err == nil {
+			t.Errorf("%q parsed as an (empty, torn) journal, want error", in)
+		}
+	}
+}
+
+func TestReadJournalMidFileCorruptionStillFatal(t *testing.T) {
+	in := `{"slot":0,"price":0.05,"sold_watts":10,"revenue":0,"grants":1,"bids":2,"clear_us":9}
+{"slot":1,"garbage
+{"slot":2,"price":0.07,"sold_watts":14,"revenue":0,"grants":1,"bids":2,"clear_us":7}
+`
+	if _, _, _, err := ReadJournalInfo(strings.NewReader(in)); err == nil {
+		t.Fatal("mid-file corruption tolerated")
+	}
+}
+
+type syncCounter struct {
+	bytes.Buffer
+	syncs int
+}
+
+func (s *syncCounter) Sync() error { s.syncs++; return nil }
+
+func TestJournalSyncEvery(t *testing.T) {
+	var sink syncCounter
+	j := NewJournalOpts(&sink, JournalOptions{SyncEvery: 3})
+	for i := 0; i < 10; i++ {
+		if err := j.Append(SlotEvent{Slot: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sink.syncs != 3 {
+		t.Errorf("syncs = %d after 10 appends with SyncEvery=3, want 3", sink.syncs)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.syncs != 4 {
+		t.Errorf("explicit Sync did not reach the sink (syncs = %d)", sink.syncs)
+	}
+	// Non-syncable sinks are a no-op, not an error.
+	if err := NewJournal(&bytes.Buffer{}).Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalResumedSkipsHeader(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournalOpts(&buf, JournalOptions{Resumed: true})
+	if !j.HasHeader() {
+		t.Fatal("resumed journal should report an existing header")
+	}
+	if err := j.Header(JournalHeader{}); err == nil {
+		t.Fatal("resumed journal accepted a second header")
+	}
+	if err := j.Append(SlotEvent{Slot: 7}); err != nil {
+		t.Fatal(err)
+	}
+	// Only the event line lands in the resumed file.
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], `"slot":7`) {
+		t.Fatalf("resumed journal wrote %q", buf.String())
+	}
+}

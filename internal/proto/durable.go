@@ -1,0 +1,204 @@
+// Durable market state: the glue between the market loop and internal/wal.
+//
+// Commit discipline: a slot is committed when its WAL record is appended
+// (and, under the every-slot policy, fsynced) — after the operator has run
+// the slot but before any broadcast goes out. Recovery therefore resumes at
+// the slot after the last committed record; a crash that tears the record
+// of slot K restores to K-1 and the restarted loop re-runs K from the same
+// deterministic inputs. A crash after the commit but before the broadcast
+// bills a grant tenants never heard — the standard write-ahead trade-off:
+// the books never lose a committed slot, at the cost of occasionally
+// charging for an undelivered one (see DESIGN §4h).
+package proto
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"spotdc/internal/operator"
+	"spotdc/internal/wal"
+)
+
+// walTypeSlot is the WAL record type for one committed slot.
+const walTypeSlot byte = 0x01
+
+// defaultSnapshotEvery is how many committed slots elapse between automatic
+// snapshots when Durable.SnapshotEvery is zero.
+const defaultSnapshotEvery = 64
+
+// Durable threads a write-ahead log through the market loop: one record
+// per slot boundary, periodic snapshots with segment compaction, and
+// recovery back into the operator and server.
+type Durable struct {
+	// Log is the open write-ahead log (required).
+	Log *wal.Log
+	// SnapshotEvery takes a snapshot after this many committed slots
+	// (default 64). Snapshots bound replay length and let the log drop
+	// fully-covered segments.
+	SnapshotEvery int
+	// ExtraSnapshot, if non-nil, contributes opaque extra state (e.g. a
+	// billing ledger) to every snapshot; RecoverDurable hands it back in
+	// Recovered.ExtraSnapshot. The hook keeps this package free of
+	// higher-layer imports (billing imports proto's consumers, not vice
+	// versa).
+	ExtraSnapshot func() ([]byte, error)
+	// ExtraSlot, if non-nil, contributes opaque extra state to every slot
+	// record (e.g. harness-side device budgets); RecoverDurable returns the
+	// replayed values in order in Recovered.ExtraSlots.
+	ExtraSlot func(slot int) ([]byte, error)
+	// OnCommit, if non-nil, runs right before a cleared slot's record is
+	// built: the hook higher layers use to fold the slot into their own
+	// state (e.g. a billing ledger) so the subsequent ExtraSlot capture
+	// already includes it. Degraded slots do not fire it.
+	OnCommit func(slot int, out operator.SlotOutcome)
+
+	sinceSnapshot int
+}
+
+// durableSlotRecord is the JSON payload of one walTypeSlot record.
+type durableSlotRecord struct {
+	Slot     int                  `json:"slot"`
+	Degraded bool                 `json:"degraded,omitempty"`
+	Commit   *operator.SlotCommit `json:"commit,omitempty"`
+	Extra    json.RawMessage      `json:"extra,omitempty"`
+}
+
+// durableSnapshot is the JSON payload of a WAL snapshot frame.
+type durableSnapshot struct {
+	Checkpoint operator.Checkpoint `json:"checkpoint"`
+	Taken      int                 `json:"taken"`
+	HaveTaken  bool                `json:"have_taken"`
+	Extra      json.RawMessage     `json:"extra,omitempty"`
+}
+
+func (d *Durable) validate() error {
+	if d.Log == nil {
+		return fmt.Errorf("%w: Durable needs an open WAL", ErrProtocol)
+	}
+	if d.SnapshotEvery < 0 {
+		return fmt.Errorf("%w: SnapshotEvery %d negative", ErrProtocol, d.SnapshotEvery)
+	}
+	return nil
+}
+
+// commitSlot appends the slot's WAL record and makes it durable under the
+// log's sync policy. WAL failures are sticky inside the log and must never
+// stop the market (availability over durability — the operator keeps
+// clearing on a full disk); callers surface Log.Err() at shutdown.
+func (d *Durable) commitSlot(op *operator.Operator, srv *Server, slot int, commit *operator.SlotCommit) {
+	rec := durableSlotRecord{Slot: slot, Degraded: commit == nil, Commit: commit}
+	if d.ExtraSlot != nil {
+		if extra, err := d.ExtraSlot(slot); err == nil {
+			rec.Extra = extra
+		}
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	if _, err := d.Log.Append(walTypeSlot, data); err != nil {
+		return
+	}
+	_ = d.Log.SlotSync()
+	every := d.SnapshotEvery
+	if every == 0 {
+		every = defaultSnapshotEvery
+	}
+	if d.sinceSnapshot++; d.sinceSnapshot >= every {
+		d.sinceSnapshot = 0
+		d.snapshot(op, srv)
+	}
+}
+
+// snapshot persists a full checkpoint and compacts covered segments.
+func (d *Durable) snapshot(op *operator.Operator, srv *Server) {
+	snap := durableSnapshot{Checkpoint: op.Checkpoint()}
+	if srv != nil {
+		snap.Taken, snap.HaveTaken = srv.MarketPosition()
+	}
+	if d.ExtraSnapshot != nil {
+		extra, err := d.ExtraSnapshot()
+		if err != nil {
+			return
+		}
+		snap.Extra = extra
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return
+	}
+	_ = d.Log.Snapshot(data)
+}
+
+// Recovered reports what RecoverDurable rebuilt from a state directory.
+type Recovered struct {
+	// NextSlot is where the market loop should resume: one past the last
+	// committed slot (0 for a fresh directory).
+	NextSlot int
+	// SlotsReplayed counts committed slot records applied on top of the
+	// snapshot; DegradedReplayed counts degraded markers among them.
+	SlotsReplayed    int
+	DegradedReplayed int
+	// HadSnapshot reports whether a snapshot anchored the recovery.
+	HadSnapshot bool
+	// Truncations echoes the WAL's torn-tail repairs (wal.Recovery).
+	Truncations int
+	// ExtraSnapshot is the opaque extra state from the recovered snapshot
+	// (nil without one); ExtraSlots are the per-slot extras in replay order.
+	ExtraSnapshot []byte
+	ExtraSlots    [][]byte
+}
+
+// RecoverDurable rebuilds market state from a WAL recovery: the snapshot
+// (if any) restores the operator checkpoint and server position, then every
+// committed slot record replays into the books. srv may be nil (recovery
+// before the server exists); the operator is required.
+func RecoverDurable(rec *wal.Recovery, op *operator.Operator, srv *Server) (*Recovered, error) {
+	if op == nil {
+		return nil, fmt.Errorf("%w: recovery needs an operator", ErrProtocol)
+	}
+	out := &Recovered{Truncations: rec.Truncations}
+	if rec.Snapshot != nil {
+		var snap durableSnapshot
+		if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
+			return nil, fmt.Errorf("proto: corrupt snapshot payload: %w", err)
+		}
+		if err := op.Restore(snap.Checkpoint); err != nil {
+			return nil, err
+		}
+		out.HadSnapshot = true
+		out.ExtraSnapshot = snap.Extra
+		if snap.HaveTaken {
+			out.NextSlot = snap.Taken + 1
+		}
+	}
+	for _, r := range rec.Records {
+		if r.Type != walTypeSlot {
+			continue
+		}
+		var sr durableSlotRecord
+		if err := json.Unmarshal(r.Data, &sr); err != nil {
+			return nil, fmt.Errorf("proto: corrupt slot record seq %d: %w", r.Seq, err)
+		}
+		if sr.Degraded {
+			out.DegradedReplayed++
+		} else if sr.Commit != nil {
+			if err := op.ApplySlotCommit(*sr.Commit); err != nil {
+				return nil, fmt.Errorf("proto: slot record %d: %w", sr.Slot, err)
+			}
+		}
+		out.SlotsReplayed++
+		if sr.Extra != nil {
+			out.ExtraSlots = append(out.ExtraSlots, sr.Extra)
+		}
+		if sr.Slot+1 > out.NextSlot {
+			out.NextSlot = sr.Slot + 1
+		}
+	}
+	if srv != nil && out.NextSlot > 0 {
+		// Position the bid window so reconnecting tenants land in the
+		// correct slot: bids at or before the last committed slot are stale.
+		srv.RestoreMarketPosition(out.NextSlot - 1)
+	}
+	return out, nil
+}

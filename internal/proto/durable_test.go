@@ -1,0 +1,219 @@
+package proto
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"spotdc/internal/operator"
+	"spotdc/internal/power"
+	"spotdc/internal/wal"
+)
+
+func durableReading(slot int) power.Reading {
+	return power.Reading{
+		RackWatts:     []float64{120 + float64(slot%4), 100},
+		OtherPDUWatts: []float64{180},
+	}
+}
+
+// runDurableSlots drives the loop over [from, from+n) with a WAL in dir,
+// returning the loop (for error inspection) and the operator.
+func runDurableSlots(t *testing.T, dir string, op *operator.Operator, srv *Server, topo *power.Topology, from, n, snapshotEvery int) *wal.Log {
+	t.Helper()
+	log, rec, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncEverySlot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecoverDurable(rec, op, srv); err != nil {
+		t.Fatal(err)
+	}
+	clock, err := NewSlotClock(time.Now().Add(20*time.Millisecond).Add(-time.Duration(from)*5*time.Millisecond), 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := MarketLoop{
+		Server:   srv,
+		Operator: op,
+		Clock:    clock,
+		Reading:  durableReading,
+		RackID:   func(r int) string { return topo.Racks[r].ID },
+		Durable:  &Durable{Log: log, SnapshotEvery: snapshotEvery},
+	}
+	if _, err := loop.RunSlots(from, n); err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+func TestDurableRecoveryResumesBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+
+	// Uninterrupted reference run: 30 slots in one process.
+	srvA, opA, topo := loopFixture(t)
+	logA := runDurableSlots(t, t.TempDir(), opA, srvA, topo, 0, 30, 8)
+	logA.Close()
+
+	// Interrupted run: 12 slots, abrupt kill, recover, 18 more.
+	srvB, opB, _ := loopFixture(t)
+	logB := runDurableSlots(t, dir, opB, srvB, topo, 0, 12, 8)
+	logB.Kill()
+
+	srvC, opC, _ := loopFixture(t)
+	logC, rec, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncEverySlot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := RecoverDurable(rec, opC, srvC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.NextSlot != 12 {
+		t.Fatalf("NextSlot = %d, want 12", recovered.NextSlot)
+	}
+	if opC.Slots() != 12 || opC.SpotRevenue() != opB.SpotRevenue() {
+		t.Fatalf("recovered books differ: slots=%d revenue %v vs %v", opC.Slots(), opC.SpotRevenue(), opB.SpotRevenue())
+	}
+	if pos, ok := srvC.MarketPosition(); !ok || pos != 11 {
+		t.Fatalf("server position = %d/%v, want 11/true", pos, ok)
+	}
+	logC.Close()
+
+	srvD, opD, _ := loopFixture(t)
+	logD := runDurableSlots(t, dir, opD, srvD, topo, 12, 18, 8)
+	logD.Close()
+
+	if !reflect.DeepEqual(opA.Checkpoint(), opD.Checkpoint()) {
+		t.Fatal("restarted run's final checkpoint differs from uninterrupted run")
+	}
+	if opA.SpotRevenue() != opD.SpotRevenue() || opA.SpotEnergyKWh() != opD.SpotEnergyKWh() {
+		t.Fatal("restarted books not bit-identical")
+	}
+}
+
+func TestDurableSnapshotBoundsReplay(t *testing.T) {
+	dir := t.TempDir()
+	srv, op, topo := loopFixture(t)
+	log := runDurableSlots(t, dir, op, srv, topo, 0, 25, 10)
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncEverySlot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Snapshot == nil {
+		t.Fatal("no snapshot after 25 slots with SnapshotEvery=10")
+	}
+	// Snapshot at slot 19 (after 20 commits): at most 5 slot records replay.
+	if len(rec.Records) >= 25 {
+		t.Fatalf("%d records to replay; snapshot did not bound the log", len(rec.Records))
+	}
+	op2, err := operator.New(operator.Config{Topology: topo, MarketOptions: op.MarketOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := RecoverDurable(rec, op2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recovered.HadSnapshot || recovered.NextSlot != 25 {
+		t.Fatalf("recovered = %+v, want snapshot-anchored NextSlot 25", recovered)
+	}
+	if op2.SpotRevenue() != op.SpotRevenue() || op2.Slots() != 25 {
+		t.Fatal("snapshot+replay books differ from live run")
+	}
+}
+
+func TestDurableExtrasRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	srv, op, topo := loopFixture(t)
+	log, rec, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncEverySlot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecoverDurable(rec, op, srv); err != nil {
+		t.Fatal(err)
+	}
+	clock, err := NewSlotClock(time.Now().Add(20*time.Millisecond), 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := MarketLoop{
+		Server:   srv,
+		Operator: op,
+		Clock:    clock,
+		Reading:  durableReading,
+		RackID:   func(r int) string { return topo.Racks[r].ID },
+		Durable: &Durable{
+			Log:           log,
+			SnapshotEvery: 4,
+			ExtraSnapshot: func() ([]byte, error) { return json.Marshal("ledger-state") },
+			ExtraSlot:     func(slot int) ([]byte, error) { return json.Marshal(slot * 10) },
+		},
+	}
+	if _, err := loop.RunSlots(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+
+	_, rec2, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncEverySlot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op2, err := operator.New(operator.Config{Topology: topo, MarketOptions: op.MarketOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := RecoverDurable(rec2, op2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snapExtra string
+	if err := json.Unmarshal(recovered.ExtraSnapshot, &snapExtra); err != nil || snapExtra != "ledger-state" {
+		t.Fatalf("snapshot extra = %q (%v)", recovered.ExtraSnapshot, err)
+	}
+	// Snapshot after slot 7 (8 commits with SnapshotEvery=4 → snapshots at
+	// slots 3 and 7); slots 8 and 9 replay with their extras.
+	if len(recovered.ExtraSlots) != 2 {
+		t.Fatalf("replayed %d slot extras, want 2", len(recovered.ExtraSlots))
+	}
+	var v int
+	if err := json.Unmarshal(recovered.ExtraSlots[1], &v); err != nil || v != 90 {
+		t.Fatalf("last slot extra = %s (%v)", recovered.ExtraSlots[1], err)
+	}
+}
+
+func TestStopChannelEndsAtBoundary(t *testing.T) {
+	srv, op, topo := loopFixture(t)
+	clock, err := NewSlotClock(time.Now().Add(20*time.Millisecond), 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	loop := MarketLoop{
+		Server:   srv,
+		Operator: op,
+		Clock:    clock,
+		Reading:  durableReading,
+		RackID:   func(r int) string { return topo.Racks[r].ID },
+		Stop:     stop,
+		OnSlot: func(slot int, _ operator.SlotOutcome, _ int) {
+			if slot == 2 {
+				close(stop)
+			}
+		},
+	}
+	cleared, err := loop.RunSlots(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleared != 3 {
+		t.Fatalf("cleared %d slots, want 3 (stop after slot 2)", cleared)
+	}
+	if op.Slots() != 3 {
+		t.Fatalf("operator ran %d slots after stop", op.Slots())
+	}
+}

@@ -117,6 +117,20 @@ type MarketLoop struct {
 	// BreakerTolerance is the excursion fraction breakers ride through
 	// (e.g. 0.05); only used when CheckEmergencies is set.
 	BreakerTolerance float64
+	// Durable, if non-nil, write-ahead-logs every slot before its broadcast
+	// and snapshots periodically, making the operator's books and market
+	// position crash-recoverable (durable.go). A nil Durable keeps the
+	// historical in-memory-only behavior.
+	Durable *Durable
+	// Stop, if non-nil, ends RunSlots early at the next slot boundary when
+	// closed — the graceful-shutdown hook: in-flight slots finish, commit,
+	// and broadcast before the loop returns. A nil channel never fires.
+	Stop <-chan struct{}
+	// BeforeBids, if non-nil, runs after each slot boundary and before the
+	// slot's bids are drained. Deterministic harnesses use it to quiesce
+	// bid arrival (wait for in-flight submissions to land) so that two runs
+	// of the same seed drain identical bid sets.
+	BeforeBids func(slot int)
 
 	// Internal degradation state; read them only after RunSlots returns
 	// (or from OnSlot/OnSlotError callbacks, which run on the loop
@@ -154,6 +168,9 @@ func (l *MarketLoop) validate() error {
 	case l.BreakerTolerance < 0:
 		return fmt.Errorf("proto: BreakerTolerance %v negative", l.BreakerTolerance)
 	}
+	if l.Durable != nil {
+		return l.Durable.validate()
+	}
 	return nil
 }
 
@@ -163,6 +180,12 @@ func (l *MarketLoop) validate() error {
 // the failure is recorded.
 func (l *MarketLoop) degrade(slot, bids int, err error) {
 	l.slotErrors++
+	if l.Durable != nil {
+		// Degraded slots commit too (with no books delta): recovery must know
+		// the slot was consumed, or a restart would re-run it against a
+		// journal that already recorded the degradation.
+		l.Durable.commitSlot(l.Operator, l.Server, slot, nil)
+	}
 	l.Server.Broadcast(slot, 0, nil, l.RackID)
 	om := l.Operator.Metrics()
 	if errors.Is(err, ErrBreakerOpen) {
@@ -347,8 +370,20 @@ func (l *MarketLoop) RunSlots(fromSlot, slots int) (int, error) {
 	l.writeJournalHeader()
 	cleared := 0
 	for slot := fromSlot; slot < fromSlot+slots; slot++ {
+		select {
+		case <-l.Stop:
+			return cleared, nil
+		default:
+		}
 		if wait := time.Until(l.Clock.StartOf(slot)); wait > 0 {
-			time.Sleep(wait)
+			select {
+			case <-l.Stop:
+				return cleared, nil
+			case <-time.After(wait):
+			}
+		}
+		if l.BeforeBids != nil {
+			l.BeforeBids(slot)
 		}
 		// Always drain the slot's bids, even when degraded: collection
 		// advances the acceptance window and prunes the bid map.
@@ -388,6 +423,18 @@ func (l *MarketLoop) RunSlots(fromSlot, slots int) (int, error) {
 			// capping tenant reacts within the same slot.
 			l.Operator.ObserveEmergencies(rd, l.BreakerTolerance)
 			emergencyChecked = true
+		}
+		if l.Durable != nil {
+			// Commit point: the slot's books delta and post-slot responder
+			// state hit the WAL before any tenant hears the outcome, so a
+			// crash on either side of the broadcast recovers consistently.
+			if l.Durable.OnCommit != nil {
+				l.Durable.OnCommit(slot, out)
+			}
+			commit := l.Operator.LastSlotCommit(out, slotHours)
+			l.Durable.commitSlot(l.Operator, l.Server, slot, &commit)
+		}
+		if emergencyChecked {
 			if budgets := collectBudgetResets(l.Operator); len(budgets) > 0 {
 				l.Server.BroadcastBudgetReset(slot, budgets)
 			}

@@ -767,7 +767,38 @@ func (s *Server) TakeBids(slot int) []core.Bid {
 			delete(s.bids, sl)
 		}
 	}
+	// Canonical rack order, not map-iteration order: clearing, journaling,
+	// and the durable slot commit all fold in bid order, so two runs that
+	// collected the same bids must hand them to the market identically —
+	// crash recovery's bit-identity depends on it. Rack indices are unique
+	// across the drained set (one demand function per rack per slot).
+	sort.Slice(out, func(i, j int) bool { return out[i].Rack < out[j].Rack })
 	return out
+}
+
+// MarketPosition returns the most recent slot handed to TakeBids and
+// whether any slot has been taken yet — the durable half of the bid
+// acceptance window.
+func (s *Server) MarketPosition() (slot int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.taken, s.haveTaken
+}
+
+// RestoreMarketPosition moves the bid acceptance window to a recovered
+// slot: bids at or before it are rejected as stale, so tenants reconnecting
+// after an operator restart land in the correct slot instead of bidding
+// into history. The position only moves forward.
+func (s *Server) RestoreMarketPosition(slot int) {
+	if slot < 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.haveTaken || slot > s.taken {
+		s.taken = slot
+		s.haveTaken = true
+	}
 }
 
 // BufferedBids returns how many bids are currently buffered for the slot

@@ -385,7 +385,7 @@ func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
 		wg.Add(1)
 		go func(idx int, a tenant.Agent) {
 			defer wg.Done()
-			st := runNetTenant(a, topo, srv.Addr(), clock, sc.Slots, bidInj, protoMetrics, opts, int64(idx))
+			st := runNetTenant(a, topo, srv.Addr(), clock, 0, sc.Slots, bidInj, protoMetrics, opts, int64(idx))
 			mu.Lock()
 			res.Tenants[st.Name] = st
 			mu.Unlock()
@@ -425,11 +425,14 @@ func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
 	return res, nil
 }
 
-// runNetTenant is one tenant's bidding loop over the wire: submit during
-// the preceding slot, await the price just after the boundary, and treat
-// every failure as "no spot capacity this slot".
+// runNetTenant is one tenant's bidding loop over the wire for slots
+// [from, to): submit during the preceding slot, await the price just after
+// the boundary, and treat every failure as "no spot capacity this slot".
+// A non-zero from is the restart path — a tenant reconnecting to an
+// operator that recovered mid-horizon picks up bidding at the recovered
+// market position (the server rejects anything earlier as stale).
 func runNetTenant(a tenant.Agent, topo *power.Topology, addr string, clock *proto.SlotClock,
-	slots int, inj *proto.FaultInjector, pm *proto.Metrics, opts NetRunOptions, seed int64) *NetTenantStats {
+	from, to int, inj *proto.FaultInjector, pm *proto.Metrics, opts NetRunOptions, seed int64) *NetTenantStats {
 	st := &NetTenantStats{Name: a.Name()}
 	rackIDs := make([]string, 0, len(a.Racks()))
 	for _, r := range a.Racks() {
@@ -477,7 +480,7 @@ func runNetTenant(a tenant.Agent, topo *power.Topology, addr string, clock *prot
 	defer client.Close()
 
 	slotLen := clock.SlotLen()
-	for slot := 0; slot < slots; slot++ {
+	for slot := from; slot < to; slot++ {
 		// Bid midway through the preceding slot (Fig. 6 discipline).
 		if wait := time.Until(clock.StartOf(slot).Add(-slotLen / 2)); wait > 0 {
 			time.Sleep(wait)

@@ -39,6 +39,16 @@ func (n *Neumaier) Add(x float64) {
 // Sum returns the compensated total.
 func (n Neumaier) Sum() float64 { return n.sum + n.comp }
 
+// State exposes the accumulator internals (running sum and compensation
+// term) for durable checkpointing. Restoring both via NeumaierFromState and
+// replaying subsequent Adds in the original order reproduces the exact bit
+// pattern an uninterrupted accumulation would have reached.
+func (n Neumaier) State() (sum, comp float64) { return n.sum, n.comp }
+
+// NeumaierFromState rebuilds an accumulator from a previously captured
+// State(). It is the restore half of the checkpoint contract.
+func NeumaierFromState(sum, comp float64) Neumaier { return Neumaier{sum: sum, comp: comp} }
+
 // Mean returns the arithmetic mean of xs, or 0 for empty input.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

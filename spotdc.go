@@ -60,6 +60,7 @@ import (
 	"spotdc/internal/sim"
 	"spotdc/internal/tenant"
 	"spotdc/internal/trace"
+	"spotdc/internal/wal"
 	"spotdc/internal/workload"
 )
 
@@ -574,3 +575,94 @@ func ServeMetrics(addr string, r *MetricsRegistry) (boundAddr string, shutdown f
 // MetricsHandler returns the /metrics exposition handler for embedding in
 // an existing HTTP server.
 func MetricsHandler(r *MetricsRegistry) http.Handler { return metrics.Handler(r) }
+
+// Durable operator state (internal/wal + internal/proto): an append-only
+// segmented write-ahead log with periodic snapshots, and crash recovery
+// that resumes the market at the slot after the last committed record.
+// Durability is strictly opt-in — a MarketLoop without Durability runs
+// exactly as before. See DESIGN §4h.
+type (
+	// WriteAheadLog is the append-only segmented log (CRC32C-framed
+	// records, configurable fsync policy, snapshot-driven compaction).
+	WriteAheadLog = wal.Log
+	// WALOptions configures OpenWAL (directory, fsync policy, segment
+	// size, metrics).
+	WALOptions = wal.Options
+	// WALRecovery is what OpenWAL found on disk: the newest snapshot, every
+	// committed record after it, and any torn-tail truncations repaired.
+	WALRecovery = wal.Recovery
+	// WALRecord is one recovered log entry.
+	WALRecord = wal.Record
+	// WALSyncPolicy selects the fsync discipline (record / slot / timer).
+	WALSyncPolicy = wal.SyncPolicy
+	// WALMetrics instruments the log (handles for WALOptions.Metrics).
+	WALMetrics = wal.Metrics
+
+	// MarketDurability threads a WriteAheadLog through the market loop:
+	// one record per slot boundary, periodic snapshots, opaque extra-state
+	// hooks for higher layers (MarketLoop.Durable).
+	MarketDurability = proto.Durable
+	// MarketRecovered reports what RecoverMarketState rebuilt.
+	MarketRecovered = proto.Recovered
+
+	// SlotJournalOptions tunes a journal's sync cadence and append-mode
+	// resumption (see NewSlotJournalOpts).
+	SlotJournalOptions = metrics.JournalOptions
+
+	// OperatorCheckpoint is the operator's complete serializable state:
+	// accumulated revenue and per-tenant payments as exact compensated-sum
+	// terms, plus emergency-responder suspension state.
+	OperatorCheckpoint = operator.Checkpoint
+	// OperatorSlotCommit is one slot's delta against a checkpoint — what a
+	// WAL slot record carries.
+	OperatorSlotCommit = operator.SlotCommit
+	// LedgerState is a billing ledger's serializable state (exact
+	// compensated sums included).
+	LedgerState = billing.LedgerState
+)
+
+// WAL fsync policies (the -fsync flag values: "record", "slot", "timer").
+const (
+	WALSyncEveryRecord = wal.SyncEveryRecord
+	WALSyncEverySlot   = wal.SyncEverySlot
+	WALSyncTimer       = wal.SyncTimer
+)
+
+// OpenWAL opens (or creates) the log in opts.Dir and recovers whatever a
+// previous process left behind, truncating at the first torn or corrupt
+// record. Hand the WALRecovery to RecoverMarketState before starting the
+// loop.
+func OpenWAL(opts WALOptions) (*WriteAheadLog, *WALRecovery, error) { return wal.Open(opts) }
+
+// NewWALMetrics registers the wal_* families on r.
+func NewWALMetrics(r *MetricsRegistry) *WALMetrics { return wal.NewMetrics(r) }
+
+// ParseWALSyncPolicy parses a -fsync flag value ("record", "slot", "timer").
+func ParseWALSyncPolicy(s string) (WALSyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// RecoverMarketState rebuilds operator and server state from a WAL
+// recovery: the snapshot restores the checkpoint, committed slot records
+// replay into the books, and the server's bid window advances so stale
+// bids from reconnecting tenants are rejected. Resume the loop at
+// MarketRecovered.NextSlot.
+func RecoverMarketState(rec *WALRecovery, op *Operator, srv *MarketServer) (*MarketRecovered, error) {
+	return proto.RecoverDurable(rec, op, srv)
+}
+
+// NewSlotJournalOpts builds a journal with explicit sync cadence and
+// append-mode resumption (a resumed journal skips the header its first
+// lifetime already wrote).
+func NewSlotJournalOpts(w io.Writer, opts SlotJournalOptions) *SlotJournal {
+	return metrics.NewJournalOpts(w, opts)
+}
+
+// ReadSlotJournalInfo parses a slot journal like ReadSlotJournal and
+// additionally reports whether the final line was torn mid-append (the
+// signature of a crashed writer); the torn line is dropped, not an error.
+func ReadSlotJournalInfo(r io.Reader) (*SlotJournalHeader, []SlotEvent, bool, error) {
+	return metrics.ReadJournalInfo(r)
+}
+
+// RestoreLedger rebuilds a ledger from a serialized state, bit-identical
+// to the original (compensated-sum terms restore exactly).
+func RestoreLedger(st LedgerState) (*Ledger, error) { return billing.RestoreLedger(st) }
