@@ -22,6 +22,12 @@
 #                       schedule entirely on the binary encoding, plus the
 #                       mixed-fleet JSON/binary interop contract, race
 #                       detector on
+#   make smoke-spans    tracing smoke run: the seeded 220-slot networked
+#                       market traced at 100% sampling must yield one root
+#                       span per journaled slot with full stage coverage
+#                       and tenant traces adopted over both encodings,
+#                       plus the span-journal → Chrome trace-event
+#                       pipeline, race detector on
 #   make smoke-crash    crash-injection smoke run: the seeded 220-slot
 #                       networked market killed at randomized slot
 #                       boundaries (one kill tearing the WAL tail) and
@@ -38,7 +44,7 @@
 
 GO ?= go
 
-.PHONY: check test smoke-faults smoke-metrics smoke-emergency smoke-wire smoke-crash audit-replay bench bench-clearing bench-proto
+.PHONY: check test smoke-faults smoke-metrics smoke-emergency smoke-wire smoke-spans smoke-crash audit-replay bench bench-clearing bench-proto
 
 check:
 	./scripts/check.sh
@@ -58,6 +64,9 @@ smoke-emergency:
 
 smoke-wire:
 	$(GO) test -race -count=1 -v -run 'TestSmokeWire|TestMixedFleetInteropMatchesAllJSON' ./internal/sim/
+
+smoke-spans:
+	$(GO) test -race -count=1 -v -run 'TestNetRunSpansMatchFaultSchedule|TestSmokeSpans' ./internal/sim/
 
 smoke-crash:
 	$(GO) test -race -count=1 -v -run 'TestCrash' ./internal/sim/ ./internal/billing/

@@ -22,7 +22,11 @@
 // Observability: -metrics-addr serves Prometheus text metrics on
 // GET /metrics (plus /healthz) aggregating every simulation the experiments
 // run — market clearings, operator slot outcomes, simulated slots, and
-// worker-pool occupancy. Instrumentation never changes report contents.
+// worker-pool occupancy; -pprof additionally mounts /debug/pprof/* on that
+// mux. -trace-spans FILE records slot-lifecycle trace spans (root slot span
+// with predict/clear/audit children) as JSON lines, head-sampled every
+// -trace-sample slots; convert with spotdc-spans for Perfetto.
+// Instrumentation never changes report contents.
 package main
 
 import (
@@ -38,6 +42,7 @@ import (
 
 	"spotdc/internal/experiments"
 	"spotdc/internal/metrics"
+	"spotdc/internal/otrace"
 	"spotdc/internal/par"
 )
 
@@ -61,6 +66,9 @@ func run() error {
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (e.g. localhost:9090)")
+	pprofOn := flag.Bool("pprof", false, "also serve /debug/pprof/* on -metrics-addr (own mux, unlike -pprof-addr's DefaultServeMux)")
+	traceSpans := flag.String("trace-spans", "", "record slot-lifecycle trace spans as JSON lines to this file (convert with spotdc-spans)")
+	traceSample := flag.Int("trace-sample", 64, "head-sample every Nth slot's trace (1 = all)")
 	auditRuns := flag.Bool("audit", false, "re-verify clearing invariants and reconcile the books on every simulation (fails the run on any violation)")
 	emergency := flag.Bool("emergency", false, "run the ext-emergency experiment (shorthand for the ext-emergency ID)")
 	flag.Parse()
@@ -69,11 +77,38 @@ func run() error {
 		Seed: *seed, LongSlots: *longSlots, ScaleSlots: *scaleSlots,
 		Workers: *workers, Parallel: *parallel, Audit: *auditRuns,
 	}
+	var reg *metrics.Registry
 	if *metricsAddr != "" {
-		reg := metrics.NewRegistry()
+		reg = metrics.NewRegistry()
 		par.EnableMetrics(reg)
 		opt.Registry = reg
-		bound, shutdown, err := metrics.Serve(*metricsAddr, reg)
+	}
+	// -trace-spans: one shared tracer across every simulation the
+	// experiments run; the default -trace-sample 64 keeps the journal small
+	// over month-long horizons (21600 slots × many scenarios).
+	if *traceSpans != "" {
+		f, err := os.Create(*traceSpans)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var tm *otrace.TracerMetrics
+		if reg != nil {
+			tm = otrace.NewTracerMetrics(reg)
+		}
+		opt.Tracer = otrace.NewTracer(otrace.Options{
+			SampleEvery: *traceSample,
+			Journal:     f,
+			Metrics:     tm,
+		})
+		fmt.Fprintf(os.Stderr, "spotdc-experiments: tracing slot spans to %s (sample every %d)\n", *traceSpans, *traceSample)
+	}
+	if *metricsAddr != "" {
+		muxOpts := metrics.MuxOptions{Pprof: *pprofOn}
+		if opt.Tracer != nil {
+			muxOpts.Extra = map[string]http.Handler{"/debug/traces": otrace.TraceHandler(opt.Tracer)}
+		}
+		bound, shutdown, err := metrics.ServeOpts(*metricsAddr, reg, muxOpts)
 		if err != nil {
 			return err
 		}

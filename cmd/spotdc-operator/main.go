@@ -20,9 +20,21 @@
 //
 // Observability: -metrics-addr serves Prometheus text metrics on
 // GET /metrics (plus /healthz) covering market clearings, operator slot
-// outcomes, protocol sessions and bid handling; -events appends one JSON
+// outcomes, protocol sessions and bid handling; -pprof additionally mounts
+// the /debug/pprof/* profiling endpoints there; -events appends one JSON
 // line per slot (price, volume, revenue, degradation) to FILE; -v enables
-// verbose per-slot and protocol diagnostics, which are silent by default.
+// verbose per-slot and protocol diagnostics (prefixed slot=N trace=ID so a
+// log line joins its span tree), which are silent by default.
+//
+// Tracing: -trace-spans FILE records one span tree per slot — bid-window
+// drain, prediction, clearing, feasibility audit, WAL commit, broadcast
+// fan-out with per-session sends — as JSON lines; -trace-sample N head-
+// samples every Nth slot (degraded, emergency and slowest-percentile slots
+// are always kept). Convert the journal with spotdc-spans to open it in
+// Perfetto, or browse the live ring at /debug/traces on -metrics-addr.
+// Connected tenants' price broadcasts carry the slot's trace context, so
+// tenant-side spans (spotdc tenant clients with a Tracer) parent under the
+// same trace across both wire encodings.
 //
 // Emergency response: -emergency arms the Section III-C loop — every slot
 // the operator checks measured load against breaker capacity (ride-through
@@ -51,6 +63,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -72,6 +85,9 @@ func main() {
 	maxFailures := flag.Int("max-consecutive-failures", 0, "trip the breaker to no-spot after this many consecutive slot failures (0 = never)")
 	breakerCooldown := flag.Int("breaker-cooldown-slots", 0, "slots to hold the breaker open before a half-open probe (0 = stay open)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (e.g. localhost:9090)")
+	pprofOn := flag.Bool("pprof", false, "also serve /debug/pprof/* profiling endpoints on -metrics-addr")
+	traceSpans := flag.String("trace-spans", "", "record slot-lifecycle trace spans as JSON lines to this file (convert with spotdc-spans)")
+	traceSample := flag.Int("trace-sample", 1, "head-sample every Nth slot's trace (1 = all; degraded/emergency/slow slots are always kept)")
 	eventsFile := flag.String("events", "", "append one JSON slot event per market slot to this file")
 	eventsSync := flag.Int("events-sync", 0, "fsync the -events journal every N slots (0 = only at shutdown)")
 	stateDir := flag.String("state-dir", "", "persist operator state (WAL + snapshots) under this directory and recover from it on startup")
@@ -113,12 +129,44 @@ func main() {
 		if *stateDir != "" {
 			walMet = spotdc.NewWALMetrics(reg)
 		}
-		bound, shutdown, err := spotdc.ServeMetrics(*metricsAddr, reg)
+	}
+	// -trace-spans: one tracer shared by the market loop, the server's
+	// broadcast fan-out, and the operator's slot phases, journaled as JSON
+	// lines (read them back with spotdc-spans or cmd/spotdc-audit -spans).
+	var tracer *spotdc.Tracer
+	if *traceSpans != "" {
+		f, err := os.Create(*traceSpans)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		var tm *spotdc.TracerMetrics
+		if reg != nil {
+			tm = spotdc.NewTracerMetrics(reg)
+		}
+		tracer = spotdc.NewTracer(spotdc.TracerOptions{
+			SampleEvery: *traceSample,
+			Journal:     f,
+			Metrics:     tm,
+		})
+		log.Printf("spotdc-operator: tracing slot spans to %s (sample every %d)", *traceSpans, *traceSample)
+	}
+	if *metricsAddr != "" {
+		muxOpts := spotdc.MetricsMuxOptions{Pprof: *pprofOn}
+		if tracer != nil {
+			muxOpts.Extra = map[string]http.Handler{"/debug/traces": spotdc.TraceHandler(tracer)}
+		}
+		bound, shutdown, err := spotdc.ServeMetricsOpts(*metricsAddr, reg, muxOpts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer shutdown()
 		log.Printf("spotdc-operator: serving metrics on http://%s/metrics", bound)
+		if *pprofOn {
+			log.Printf("spotdc-operator: profiling on http://%s/debug/pprof/", bound)
+		}
+	} else if *pprofOn {
+		log.Printf("spotdc-operator: -pprof has no effect without -metrics-addr")
 	}
 	if *eventsFile != "" {
 		// Without durable state each run truncates and starts a fresh
@@ -178,6 +226,7 @@ func main() {
 		Topology:      topo,
 		MarketOptions: mktOpts,
 		Metrics:       opMet,
+		Tracer:        tracer,
 	}
 	// -emergency: one rack PDU per rack is the physical enforcement point;
 	// the responder's SetBudget hook actuates it (and logs the reset).
@@ -222,6 +271,7 @@ func main() {
 		// tenant's rack instead of silently mis-billing its grants.
 		OwnerOf: func(i int) string { return topo.Racks[i].Tenant },
 		Metrics: protoMet,
+		Tracer:  tracer,
 		Logf:    logf,
 	})
 	if err != nil {
@@ -319,22 +369,33 @@ func main() {
 			}
 			return reading
 		},
-		RackID: func(i int) string { return topo.Racks[i].ID },
-		// Per-slot narration is verbose-only; the journal and /metrics are
-		// the always-available records.
-		OnSlot: func(slot int, out spotdc.SlotOutcome, bids int) {
-			logf("slot %d: %d bids from %v, price $%.3f/kWh, sold %.1f W, revenue $%.6f (total $%.6f)",
-				slot, bids, srv.Sessions(), out.Result.Price, out.Result.TotalWatts,
-				out.RevenueThisSlot, op.SpotRevenue())
-		},
-		// Section III-C: a failed slot degrades to the no-spot default and
-		// the market keeps running; it is logged, never fatal.
-		OnSlotError: func(slot int, err error) {
-			log.Printf("slot %d: degraded to no-spot default: %v", slot, err)
-		},
+		RackID:                 func(i int) string { return topo.Racks[i].ID },
 		MaxConsecutiveFailures: *maxFailures,
 		BreakerCooldownSlots:   *breakerCooldown,
 		Journal:                journal,
+		Tracer:                 tracer,
+	}
+	// slotTag prefixes a log line with the slot and its trace ID, so a
+	// degraded slot in the log joins its span tree in -trace-spans with one
+	// grep ("-" when tracing is off).
+	slotTag := func(slot int) string {
+		if sc := loop.SlotTrace(); sc.Valid() {
+			return fmt.Sprintf("slot=%d trace=%s", slot, sc.Trace)
+		}
+		return fmt.Sprintf("slot=%d trace=-", slot)
+	}
+	// Per-slot narration is verbose-only; the journal and /metrics are
+	// the always-available records. (Assigned outside the literal: the
+	// closures read loop.SlotTrace.)
+	loop.OnSlot = func(slot int, out spotdc.SlotOutcome, bids int) {
+		logf("%s: %d bids from %v, price $%.3f/kWh, sold %.1f W, revenue $%.6f (total $%.6f)",
+			slotTag(slot), bids, srv.Sessions(), out.Result.Price, out.Result.TotalWatts,
+			out.RevenueThisSlot, op.SpotRevenue())
+	}
+	// Section III-C: a failed slot degrades to the no-spot default and
+	// the market keeps running; it is logged, never fatal.
+	loop.OnSlotError = func(slot int, err error) {
+		log.Printf("%s: degraded to no-spot default: %v", slotTag(slot), err)
 	}
 	if *emergency {
 		loop.CheckEmergencies = true

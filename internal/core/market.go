@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"spotdc/internal/otrace"
 )
 
 // ErrConstraints reports inconsistent market constraints.
@@ -134,6 +136,10 @@ type Options struct {
 	// Metrics — and never fails the clearing: violations are counted on the
 	// Auditor and surfaced via its OnViolation hook and Err().
 	Audit *Auditor
+	// Trace, if non-nil, opens one clear span per Clear call under the
+	// parent set by SetTraceParent, annotated with the engine, candidate
+	// evaluations, and clearing price (DESIGN §4i). Nil is free.
+	Trace *otrace.Tracer
 }
 
 const defaultPriceStep = 0.001
@@ -214,6 +220,16 @@ type Market struct {
 	// (same single-threaded contract as pduLoad; the parallel candidate
 	// verification uses private per-worker buffers instead).
 	exact exactScratch
+	// traceParent is the span Clear's clear span parents under; set per
+	// slot by SetTraceParent, nil outside an instrumented slot.
+	traceParent *otrace.Span
+}
+
+// SetTraceParent sets the parent span for the clear spans opened by Clear
+// (nil detaches). Call it from the same goroutine that calls Clear; the
+// market is single-threaded by contract.
+func (m *Market) SetTraceParent(sp *otrace.Span) {
+	m.traceParent = sp
 }
 
 // allocs returns the market-owned allocation buffer resized to n
@@ -415,9 +431,14 @@ func (m *Market) Clear(bids []Bid) (Result, error) {
 	if met != nil {
 		start = time.Now()
 	}
+	sp := m.opts.Trace.StartChild("clear", m.traceParent)
 	if err := m.validateBids(bids); err != nil {
 		if met != nil {
 			met.clearErrors.Inc()
+		}
+		if sp != nil {
+			sp.SetStr("error", err.Error())
+			sp.End()
 		}
 		return Result{}, err
 	}
@@ -435,6 +456,12 @@ func (m *Market) Clear(bids []Bid) (Result, error) {
 	}
 	if aud := m.opts.Audit; aud != nil {
 		m.auditClear(aud, bids, res)
+	}
+	if sp != nil {
+		sp.SetStr("engine", res.Algorithm.String())
+		sp.SetInt("evaluations", int64(res.Evaluations))
+		sp.SetFloat("price", res.Price)
+		sp.End()
 	}
 	return res, nil
 }

@@ -122,7 +122,7 @@ func ablRation(opt Options) (*Report, error) {
 			return e
 		}
 		sc.MarketOptions.Ration = k%2 == 1
-		res, e := sim.Run(sc, sim.RunOptions{Mode: sim.ModeSpotDC, Registry: opt.Registry, Audit: opt.Audit})
+		res, e := sim.Run(sc, sim.RunOptions{Mode: sim.ModeSpotDC, Registry: opt.Registry, Audit: opt.Audit, Tracer: opt.Tracer})
 		if e != nil {
 			return e
 		}

@@ -48,7 +48,7 @@ func runTestbed(opt Options, tb sim.TestbedOptions, mode sim.Mode, record bool) 
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(sc, sim.RunOptions{Mode: mode, Record: record, Registry: opt.Registry, Audit: opt.Audit})
+	return sim.Run(sc, sim.RunOptions{Mode: mode, Record: record, Registry: opt.Registry, Audit: opt.Audit, Tracer: opt.Tracer})
 }
 
 func fig10(opt Options) (*Report, error) {
@@ -498,7 +498,7 @@ func fig18(opt Options) (*Report, error) {
 		if k%2 == 1 {
 			mode = sim.ModePowerCapped
 		}
-		res, e := sim.Run(sc, sim.RunOptions{Mode: mode, Registry: opt.Registry, Audit: opt.Audit})
+		res, e := sim.Run(sc, sim.RunOptions{Mode: mode, Registry: opt.Registry, Audit: opt.Audit, Tracer: opt.Tracer})
 		runs[k] = res
 		return e
 	})

@@ -51,7 +51,7 @@ func extEmergency(opt Options) (*Report, error) {
 			return e
 		}
 		sc.Emergency = emergency(i == 1)
-		res, e := sim.Run(sc, sim.RunOptions{Mode: sim.ModeSpotDC, Registry: opt.Registry, Audit: opt.Audit})
+		res, e := sim.Run(sc, sim.RunOptions{Mode: sim.ModeSpotDC, Registry: opt.Registry, Audit: opt.Audit, Tracer: opt.Tracer})
 		results[i] = res
 		return e
 	})
@@ -118,7 +118,7 @@ func extPredictor(opt Options) (*Report, error) {
 				predictor.Observe(price)
 			}
 		}
-		res, e := sim.Run(sc, sim.RunOptions{Mode: sim.ModeSpotDC, Registry: opt.Registry, Audit: opt.Audit})
+		res, e := sim.Run(sc, sim.RunOptions{Mode: sim.ModeSpotDC, Registry: opt.Registry, Audit: opt.Audit, Tracer: opt.Tracer})
 		ewma = res
 		return e
 	})
@@ -337,7 +337,7 @@ func extFaults(opt Options) (*Report, error) {
 		}
 		sc.BidLossProb = probs[i-1]
 		sc.FaultSeed = opt.Seed + 99
-		res, e := sim.Run(sc, sim.RunOptions{Mode: sim.ModeSpotDC, Registry: opt.Registry, Audit: opt.Audit})
+		res, e := sim.Run(sc, sim.RunOptions{Mode: sim.ModeSpotDC, Registry: opt.Registry, Audit: opt.Audit, Tracer: opt.Tracer})
 		results[i-1] = res
 		return e
 	})

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"spotdc/internal/metrics"
+	"spotdc/internal/otrace"
 	"spotdc/internal/par"
 )
 
@@ -138,6 +139,13 @@ type Options struct {
 	// the experiment on any violation. Wired by cmd/spotdc-experiments
 	// -audit; auditing never changes report contents.
 	Audit bool
+	// Tracer, if non-nil, traces every simulation an experiment runs
+	// (sim.RunOptions.Tracer): one root span per slot with the operator's
+	// predict/clear/audit children. The tracer is concurrency-safe, so the
+	// scenario fan-out shares it — spans from concurrent runs interleave in
+	// the ring/journal but each keeps its own trace ID. Wired by
+	// cmd/spotdc-experiments -trace-spans.
+	Tracer *otrace.Tracer
 }
 
 func (o Options) withDefaults() Options {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"spotdc/internal/core"
+	"spotdc/internal/otrace"
 	"spotdc/internal/power"
 	"spotdc/internal/stats"
 )
@@ -142,6 +143,12 @@ type Operator struct {
 	responder *responderState
 
 	met *Metrics
+
+	// tracer and traceParent carry slot tracing (DESIGN §4i): the market
+	// loop parks the slot's root span here around RunSlot, under which
+	// the predict/clear/audit stage spans open. Both nil with tracing off.
+	tracer      *otrace.Tracer
+	traceParent *otrace.Span
 }
 
 // Config assembles an Operator.
@@ -167,6 +174,11 @@ type Config struct {
 	// readings recover (Section III-C, Fig. 6). Nil keeps the historical
 	// count-only behavior, bit-identically.
 	Emergency *ResponderConfig
+	// Tracer, if non-nil, opens predict and audit stage spans inside
+	// RunSlot under the parent set by SetTraceParent, and is handed to
+	// the market core for its clear span (unless MarketOptions.Trace is
+	// already set). Nil is free.
+	Tracer *otrace.Tracer
 }
 
 // New builds an Operator, deriving the market's rack constraints from the
@@ -192,6 +204,9 @@ func New(cfg Config) (*Operator, error) {
 		cons.RackHeadroom[i] = r.SpotHeadroom
 		cons.RackPDU[i] = r.PDU
 	}
+	if cfg.Tracer != nil && cfg.MarketOptions.Trace == nil {
+		cfg.MarketOptions.Trace = cfg.Tracer
+	}
 	mkt, err := core.NewMarket(cons, cfg.MarketOptions)
 	if err != nil {
 		return nil, err
@@ -215,7 +230,17 @@ func New(cfg Config) (*Operator, error) {
 		pduSoldBuf: make([]float64, len(topo.PDUs)),
 		responder:  responder,
 		met:        cfg.Metrics,
+		tracer:     cfg.Tracer,
 	}, nil
+}
+
+// SetTraceParent parks the current slot's root span for RunSlot's stage
+// spans (predict/clear/audit) to parent under, and forwards it to the
+// market core for its clear span. The market loop calls it around each
+// RunSlot; nil clears it. Nil-safe with tracing off.
+func (op *Operator) SetTraceParent(sp *otrace.Span) {
+	op.traceParent = sp
+	op.market.SetTraceParent(sp)
 }
 
 // Metrics returns the operator's instrumentation handle set (nil when the
@@ -306,7 +331,12 @@ func (op *Operator) RunSlot(bids []core.Bid, reading power.Reading, slotHours fl
 	if slotHours <= 0 {
 		return SlotOutcome{}, fmt.Errorf("operator: slotHours %v must be positive", slotHours)
 	}
+	// predict covers reading validation plus the Section III-C spot
+	// prediction; clear (market.Clear's own span) and audit follow it.
+	ps := op.tracer.StartChild("predict", op.traceParent)
 	if err := ValidateReading(reading); err != nil {
+		ps.SetStr("error", err.Error())
+		ps.End()
 		return SlotOutcome{}, err
 	}
 	racks := op.rackBuf[:0]
@@ -316,8 +346,12 @@ func (op *Operator) RunSlot(bids []core.Bid, reading power.Reading, slotHours fl
 	op.rackBuf = racks
 	spot, err := op.PredictSpot(reading, racks)
 	if err != nil {
+		ps.SetStr("error", err.Error())
+		ps.End()
 		return SlotOutcome{}, err
 	}
+	ps.SetFloat("ups_spot_watts", spot.UPSWatts)
+	ps.End()
 	if rs := op.responder; rs != nil {
 		// Suspended elements sell no spot capacity until they recover
 		// (Section III-C: the market pauses at an overloaded PDU). The
@@ -344,9 +378,14 @@ func (op *Operator) RunSlot(bids []core.Bid, reading power.Reading, slotHours fl
 	if err != nil {
 		return SlotOutcome{}, err
 	}
+	// audit covers the feasibility re-verification and the slot's billing
+	// fold — the post-clear settlement work.
+	as := op.tracer.StartChild("audit", op.traceParent)
 	if err := op.market.VerifyFeasible(res.Allocations); err != nil {
 		// A reliability invariant, not an expected runtime condition: spot
 		// allocation must never endanger the infrastructure.
+		as.SetStr("error", err.Error())
+		as.End()
 		return SlotOutcome{}, fmt.Errorf("operator: clearing produced infeasible allocation: %w", err)
 	}
 	slotRevenue := res.RevenueRate * slotHours
@@ -386,6 +425,8 @@ func (op *Operator) RunSlot(bids []core.Bid, reading power.Reading, slotHours fl
 		}
 		acc.Add(paid)
 	}
+	as.SetFloat("revenue", slotRevenue)
+	as.End()
 	if op.met != nil {
 		for i := range op.pduSoldBuf {
 			op.pduSoldBuf[i] = 0

@@ -1,0 +1,74 @@
+package otrace
+
+import "spotdc/internal/metrics"
+
+// Drop reasons for otrace_spans_dropped_total.
+const (
+	dropUnsampled = "unsampled"
+	dropEvicted   = "evicted"
+)
+
+// TracerMetrics counts the tracer's own behavior on the shared registry:
+// spans started/sampled/dropped, ring occupancy, export errors. Like the
+// protocol metrics, every child is resolved at construction so the span
+// path costs only atomic updates. All methods are nil-safe.
+type TracerMetrics struct {
+	started_      *metrics.Counter
+	sampled_      *metrics.Counter
+	dropUnsampled *metrics.Counter
+	dropEvicted   *metrics.Counter
+	ringOccupancy *metrics.Gauge
+	exportErrors  *metrics.Counter
+}
+
+// NewTracerMetrics registers the otrace_* families on the registry.
+// Registration is idempotent (registry semantics), so tracers sharing a
+// registry share counters.
+func NewTracerMetrics(r *metrics.Registry) *TracerMetrics {
+	dropped := r.CounterVec("otrace_spans_dropped_total",
+		"Spans discarded without publishing, by reason (unsampled head decision, or pending-state eviction).",
+		"reason")
+	return &TracerMetrics{
+		started_: r.Counter("otrace_spans_started_total",
+			"Spans opened by any Start call, sampled or not."),
+		sampled_: r.Counter("otrace_spans_sampled_total",
+			"Spans published into the ring (and journal when attached)."),
+		dropUnsampled: dropped.With(dropUnsampled),
+		dropEvicted:   dropped.With(dropEvicted),
+		ringOccupancy: r.Gauge("otrace_ring_occupancy",
+			"Published spans currently held by the in-memory ring recorder."),
+		exportErrors: r.Counter("otrace_export_errors_total",
+			"Span-journal write failures (spans still reach the ring)."),
+	}
+}
+
+func (m *TracerMetrics) started() {
+	if m != nil {
+		m.started_.Inc()
+	}
+}
+
+func (m *TracerMetrics) sampled(ringLen int) {
+	if m != nil {
+		m.sampled_.Inc()
+		m.ringOccupancy.Set(float64(ringLen))
+	}
+}
+
+func (m *TracerMetrics) droppedN(reason string, n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	switch reason {
+	case dropEvicted:
+		m.dropEvicted.Add(uint64(n))
+	default:
+		m.dropUnsampled.Add(uint64(n))
+	}
+}
+
+func (m *TracerMetrics) exportError() {
+	if m != nil {
+		m.exportErrors.Inc()
+	}
+}

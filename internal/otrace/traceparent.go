@@ -1,0 +1,91 @@
+package otrace
+
+import "fmt"
+
+// Traceparent wire form, W3C-trace-context-shaped but sized for SpotDC:
+//
+//	01-<16 hex trace id>-<16 hex span id>-<2 hex flags>
+//
+// version "01" is this package's own (W3C "00" carries 128-bit trace
+// IDs; ours are 64-bit, see TraceID). Flag bit 0 is the sampled bit.
+// The field rides the Fig. 5 messages: downstream on price broadcasts
+// (the operator's slot trace, which tenants Adopt) and upstream on bids
+// (informational — the tenant's provisional trace).
+const (
+	traceparentVersion = "01"
+	traceparentLen     = 2 + 1 + 16 + 1 + 16 + 1 + 2
+	flagSampled        = 0x01
+)
+
+// FormatTraceparent renders a span context as the wire field. An invalid
+// context renders as "" (the field is omitted).
+func FormatTraceparent(sc SpanContext) string {
+	if !sc.Valid() {
+		return ""
+	}
+	flags := byte(0)
+	if sc.Sampled {
+		flags = flagSampled
+	}
+	b := make([]byte, 0, traceparentLen)
+	b = append(b, traceparentVersion...)
+	b = append(b, '-')
+	b = appendHex16(b, uint64(sc.Trace))
+	b = append(b, '-')
+	b = appendHex16(b, uint64(sc.Span))
+	b = append(b, '-', hexDigits[flags>>4], hexDigits[flags&0xf])
+	return string(b)
+}
+
+// ParseTraceparent parses the wire field. Unknown versions and malformed
+// fields are errors — the caller treats them as "no trace context"
+// rather than failing the message.
+func ParseTraceparent(s string) (SpanContext, error) {
+	if len(s) != traceparentLen {
+		return SpanContext{}, fmt.Errorf("otrace: traceparent length %d (want %d)", len(s), traceparentLen)
+	}
+	if s[0:2] != traceparentVersion {
+		return SpanContext{}, fmt.Errorf("otrace: unsupported traceparent version %q", s[0:2])
+	}
+	if s[2] != '-' || s[19] != '-' || s[36] != '-' {
+		return SpanContext{}, fmt.Errorf("otrace: malformed traceparent %q", s)
+	}
+	trace, err := parseHex(s[3:19])
+	if err != nil {
+		return SpanContext{}, err
+	}
+	span, err := parseHex(s[20:36])
+	if err != nil {
+		return SpanContext{}, err
+	}
+	flags, err := parseHex(s[37:39])
+	if err != nil {
+		return SpanContext{}, err
+	}
+	sc := SpanContext{Trace: TraceID(trace), Span: SpanID(span), Sampled: flags&flagSampled != 0}
+	if !sc.Valid() {
+		return SpanContext{}, fmt.Errorf("otrace: traceparent %q has a zero trace or span id", s)
+	}
+	return sc, nil
+}
+
+// parseHex decodes a fixed-width lowercase-or-uppercase hex field.
+func parseHex(s string) (uint64, error) {
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("otrace: bad hex byte %q in traceparent", c)
+		}
+		v = v<<4 | d
+	}
+	return v, nil
+}

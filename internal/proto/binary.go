@@ -6,18 +6,21 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 )
 
 // Binary wire framing (DESIGN §4g). Every message is one frame:
 //
 //	[0] magic     0xBF — distinguishes a binary hello from JSON's '{'
-//	[1] version   0x01
+//	[1] version   0x01 or 0x02
 //	[2] type      message type code (binHello..binError)
 //	[3:6] length  24-bit big-endian payload length (≤ MaxLineBytes)
 //	[6:]  payload
 //
 // The payload always opens with the envelope fields every message carries —
-// tenant (string) and slot (int64) — followed by a type-specific body:
+// tenant (string) and slot (int64); version-2 frames append the trace
+// field (string, "" when absent) to the envelope — followed by a
+// type-specific body:
 //
 //	hello         u16 rack count, then rack IDs (strings)
 //	heartbeat     (empty)
@@ -32,9 +35,18 @@ import (
 // length followed by raw bytes. Everything is length-checked against the
 // frame, so a truncated or hostile frame decodes to ErrProtocol, never a
 // panic or an over-allocation.
+// Version negotiation (DESIGN §4i): version 1 is the historical framing;
+// version 2 adds the trace envelope field. A codec starts at version 1
+// and upgrades stickily — the tenant client enables v2 when a tracer is
+// configured, and the server-side codec upgrades when it receives its
+// first v2 frame, answering in kind for the rest of the session. A v1
+// peer therefore never sees a v2 frame it did not ask for, so old
+// clients (and old servers talking to untraced clients) interoperate
+// unchanged.
 const (
-	binMagic   = 0xBF
-	binVersion = 1
+	binMagic        = 0xBF
+	binVersion      = 1
+	binVersionTrace = 2
 
 	binFrameHeader = 6
 )
@@ -105,6 +117,11 @@ type BinaryCodec struct {
 	w io.Writer
 	c io.Closer
 
+	// v2 flips the codec to version-2 frames (trace envelope field).
+	// Atomic because a server session's reader goroutine upgrades it on
+	// the first v2 Recv while the writer goroutine reads it in Send.
+	v2 atomic.Bool
+
 	enc []byte // encode scratch; one frame appended then written whole
 	dec []byte // decode scratch; holds the current frame's payload
 
@@ -142,6 +159,12 @@ func newBinaryCodec(r *bufio.Reader, wc io.WriteCloser) *BinaryCodec {
 // Encoding identifies the codec as the binary wire encoding.
 func (c *BinaryCodec) Encoding() Encoding { return WireBinary }
 
+// EnableTrace switches the codec to version-2 frames, which carry the
+// Message.Trace envelope field. The tenant client calls it when a tracer
+// is configured; the peer must understand v2 (an old server rejects the
+// hello), so untraced clients stay on v1 and interoperate everywhere.
+func (c *BinaryCodec) EnableTrace() { c.v2.Store(true) }
+
 // Close closes the underlying stream.
 func (c *BinaryCodec) Close() error { return c.c.Close() }
 
@@ -171,12 +194,21 @@ func (c *BinaryCodec) Send(m Message) error {
 	if code == 0 {
 		return fmt.Errorf("%w: message type %q has no binary encoding", ErrProtocol, m.Type)
 	}
-	b := append(c.enc[:0], binMagic, binVersion, code, 0, 0, 0)
+	ver := byte(binVersion)
+	if c.v2.Load() {
+		ver = binVersionTrace
+	}
+	b := append(c.enc[:0], binMagic, ver, code, 0, 0, 0)
 	var err error
 	if b, err = appendStr(b, m.Tenant); err != nil {
 		return err
 	}
 	b = appendU64(b, uint64(int64(m.Slot)))
+	if ver >= binVersionTrace {
+		if b, err = appendStr(b, m.Trace); err != nil {
+			return err
+		}
+	}
 	switch m.Type {
 	case TypeHello:
 		if len(m.Racks) > math.MaxUint16 {
@@ -311,6 +343,22 @@ func (r *binReader) str(c *BinaryCodec) (string, error) {
 	return s, nil
 }
 
+// rawStr decodes one string without interning — for fields whose values
+// never repeat (trace contexts), where interning would only grow the
+// table toward its cap.
+func (r *binReader) rawStr() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	if err := r.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
 // Recv reads one frame. io.EOF signals a clean close before a frame starts;
 // a partial frame is an ErrUnexpectedEOF. Returned slices reference codec
 // scratch valid until the next Recv.
@@ -325,8 +373,13 @@ func (c *BinaryCodec) Recv() (Message, error) {
 	if _, err := io.ReadFull(c.r, hdr[1:]); err != nil {
 		return Message{}, noEOF(err)
 	}
-	if hdr[1] != binVersion {
+	if hdr[1] != binVersion && hdr[1] != binVersionTrace {
 		return Message{}, fmt.Errorf("%w: unsupported binary wire version %d", ErrProtocol, hdr[1])
+	}
+	if hdr[1] == binVersionTrace && !c.v2.Load() {
+		// Sticky answer-in-kind upgrade: a peer that speaks v2 gets v2
+		// back for the rest of the session (never downgraded).
+		c.v2.Store(true)
 	}
 	typ := binTypeOf(hdr[2])
 	if typ == "" {
@@ -355,6 +408,13 @@ func (c *BinaryCodec) Recv() (Message, error) {
 		return Message{}, err
 	}
 	m.Slot = int(int64(slot))
+	if hdr[1] >= binVersionTrace {
+		// Trace fields are per-slot unique, so interning them would churn
+		// the vocabulary table; read raw instead.
+		if m.Trace, err = r.rawStr(); err != nil {
+			return Message{}, err
+		}
+	}
 	switch typ {
 	case TypeHello:
 		cnt, err := r.u16()

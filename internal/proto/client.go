@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"net"
 	"time"
+
+	"spotdc/internal/otrace"
 )
 
 // ErrNoPrice reports that no price broadcast arrived for the awaited slot;
@@ -64,6 +66,16 @@ type ClientOptions struct {
 	// reconnects are expected operation under churn and are surfaced via
 	// Metrics and OnReconnect.
 	Logf func(format string, args ...interface{})
+	// Tracer, if non-nil, opens tenant-side spans: one provisional
+	// tenant_slot root per slot with submit and await_price children
+	// (harnesses add bid_decision via SlotSpan). When the slot's price
+	// broadcast delivers the operator's traceparent the provisional trace
+	// is adopted into the operator's slot trace (otrace.Tracer.Adopt), so
+	// tenant spans parent under the operator's broadcast across the wire.
+	// Over the binary encoding this enables version-2 frames, which an
+	// old (v1-only) server rejects at hello; leave the tracer nil to talk
+	// to pre-trace binary servers. Nil is free.
+	Tracer *otrace.Tracer
 }
 
 func (o *ClientOptions) setDefaults() {
@@ -100,6 +112,11 @@ type Client struct {
 	// copied into a client-owned buffer reused across slots (alloc-free in
 	// steady state). The returned slice is valid until the next AwaitPrice.
 	grantScratch []Grant
+
+	// root is the current slot's provisional tenant_slot span (nil with
+	// tracing off); rootSlot is the slot it covers.
+	root     *otrace.Span
+	rootSlot int
 
 	reconnects int
 }
@@ -144,7 +161,13 @@ func (c *Client) connect() error {
 	}
 	var codec Wire
 	if c.opts.Wire == WireBinary {
-		codec = NewBinaryCodec(conn)
+		bc := NewBinaryCodec(conn)
+		if c.opts.Tracer != nil {
+			// Trace propagation needs the v2 frame envelope; see
+			// ClientOptions.Tracer for the compatibility contract.
+			bc.EnableTrace()
+		}
+		codec = bc
 	} else {
 		codec = NewCodec(conn)
 	}
@@ -221,6 +244,34 @@ func (c *Client) reconnect(cause error, deadlineAt time.Time) error {
 // Reconnects returns how many times the client restored a dropped session.
 func (c *Client) Reconnects() int { return c.reconnects }
 
+// SlotSpan returns the client's provisional root span for the slot,
+// opening it on first use; submit, await_price, and harness-side
+// bid_decision spans parent under it. Moving to a new slot ends the
+// previous slot's span (its trace publishes or drops per the decision it
+// reached — adopted slots follow the operator's, broadcast-less slots
+// the local head sampling). Returns nil with tracing off.
+func (c *Client) SlotSpan(slot int) *otrace.Span {
+	if c.opts.Tracer == nil {
+		return nil
+	}
+	if c.root != nil && c.rootSlot == slot {
+		return c.root
+	}
+	c.endSlotSpan()
+	c.root = c.opts.Tracer.StartProvisionalRoot("tenant_slot", slot)
+	c.root.SetStr("tenant", c.tenant)
+	c.rootSlot = slot
+	return c.root
+}
+
+// endSlotSpan closes the current slot's provisional root, if any.
+func (c *Client) endSlotSpan() {
+	if c.root != nil {
+		c.root.End()
+		c.root = nil
+	}
+}
+
 // Tenant returns the registered tenant name.
 func (c *Client) Tenant() string { return c.tenant }
 
@@ -229,17 +280,41 @@ func (c *Client) Tenant() string { return c.tenant }
 // fails the bid is lost and the tenant simply has no spot capacity for the
 // slot (Section III-C).
 func (c *Client) SubmitBids(slot int, bids []RackBid) error {
+	sp := c.opts.Tracer.StartChild("submit", c.SlotSpan(slot))
+	sp.SetInt("bids", int64(len(bids)))
 	msg := Message{Type: TypeBid, Tenant: c.tenant, Slot: slot, Bids: bids}
+	if sp != nil {
+		// Upward propagation is informational (the operator's slot trace
+		// does not exist yet when bids go out); the authoritative join is
+		// the downward traceparent on the price broadcast.
+		msg.Trace = otrace.FormatTraceparent(sp.Context())
+	}
+	err := c.submitOnce(msg, sp)
+	sp.End()
+	return err
+}
+
+// submitOnce sends a bid message with the one redial-and-retry policy.
+func (c *Client) submitOnce(msg Message, sp *otrace.Span) error {
 	setConnDeadline(c.conn, deadline)
 	err := c.codec.Send(msg)
 	if err == nil || !c.opts.Reconnect {
+		if err != nil {
+			sp.SetStr("error", err.Error())
+		}
 		return err
 	}
 	if rerr := c.reconnect(err, time.Time{}); rerr != nil {
+		sp.SetStr("error", rerr.Error())
 		return rerr
 	}
+	sp.SetBool("resent", true)
 	setConnDeadline(c.conn, deadline)
-	return c.codec.Send(msg)
+	if err := c.codec.Send(msg); err != nil {
+		sp.SetStr("error", err.Error())
+		return err
+	}
+	return nil
 }
 
 // HeartBeat exchanges a keep-alive for the slot.
@@ -266,6 +341,29 @@ func (c *Client) HeartBeat(slot int) error {
 // down, the wait ends in ErrNoPrice — the no-spot default, never a
 // wrong price.
 func (c *Client) AwaitPrice(slot int, timeout time.Duration) (price float64, grants []Grant, err error) {
+	if c.opts.Tracer == nil {
+		return c.awaitPrice(slot, timeout, nil)
+	}
+	root := c.SlotSpan(slot)
+	sp := c.opts.Tracer.StartChild("await_price", root)
+	price, grants, err = c.awaitPrice(slot, timeout, root)
+	if err != nil {
+		sp.SetStr("error", err.Error())
+	} else {
+		sp.SetFloat("price", price)
+		sp.SetInt("grants", int64(len(grants)))
+	}
+	sp.End()
+	// The slot is settled for this tenant either way; close the root so
+	// the trace publishes (or drops) now rather than at the next slot.
+	c.endSlotSpan()
+	return price, grants, err
+}
+
+// awaitPrice is AwaitPrice's wait loop; root, when non-nil, is the
+// slot's provisional span to adopt into the operator's trace when the
+// price broadcast delivers a traceparent.
+func (c *Client) awaitPrice(slot int, timeout time.Duration, root *otrace.Span) (price float64, grants []Grant, err error) {
 	deadlineAt := time.Now().Add(timeout)
 	for {
 		remaining := time.Until(deadlineAt)
@@ -294,6 +392,14 @@ func (c *Client) AwaitPrice(slot int, timeout time.Duration) (price float64, gra
 		}
 		switch {
 		case msg.Type == TypePrice && msg.Slot == slot:
+			if root != nil && msg.Trace != "" {
+				// The broadcast carries the operator's slot trace: re-home
+				// the provisional tenant trace under it, inheriting the
+				// operator's sampling decision.
+				if rctx, perr := otrace.ParseTraceparent(msg.Trace); perr == nil {
+					c.opts.Tracer.Adopt(root, rctx)
+				}
+			}
 			// Copy out of codec-owned decode scratch (see Wire.Recv); the
 			// returned slice is valid until the next AwaitPrice call.
 			c.grantScratch = append(c.grantScratch[:0], msg.Grants...)
@@ -324,4 +430,7 @@ func (c *Client) AwaitPrice(slot int, timeout time.Duration) (price float64, gra
 }
 
 // Close terminates the session.
-func (c *Client) Close() error { return c.codec.Close() }
+func (c *Client) Close() error {
+	c.endSlotSpan()
+	return c.codec.Close()
+}

@@ -8,6 +8,7 @@ import (
 	"spotdc/internal/core"
 	"spotdc/internal/metrics"
 	"spotdc/internal/operator"
+	"spotdc/internal/otrace"
 	"spotdc/internal/power"
 )
 
@@ -131,6 +132,13 @@ type MarketLoop struct {
 	// bid arrival (wait for in-flight submissions to land) so that two runs
 	// of the same seed drain identical bid sets.
 	BeforeBids func(slot int)
+	// Tracer, if non-nil, opens one root span per slot with children for
+	// the bid-window drain, the operator's predict/clear/audit stages,
+	// emergency observation, the WAL commit, and the broadcast fan-out
+	// (DESIGN §4i). Degraded, breaker-open, and emergency slots are
+	// force-sampled. Wire the same tracer into ServerOptions.Tracer (send
+	// spans) and operator Config.Tracer (stage spans). Nil is free.
+	Tracer *otrace.Tracer
 
 	// Internal degradation state; read them only after RunSlots returns
 	// (or from OnSlot/OnSlotError callbacks, which run on the loop
@@ -139,6 +147,7 @@ type MarketLoop struct {
 	consecFails int
 	tripped     bool
 	cooldown    int
+	curTrace    otrace.SpanContext
 }
 
 // SlotErrors returns how many slots degraded to the no-spot default
@@ -147,6 +156,12 @@ func (l *MarketLoop) SlotErrors() int { return l.slotErrors }
 
 // BreakerTripped reports whether the circuit breaker is currently open.
 func (l *MarketLoop) BreakerTripped() bool { return l.tripped }
+
+// SlotTrace returns the current slot's trace context (zero when no
+// tracer is wired). Valid on the loop goroutine — i.e. from OnSlot and
+// OnSlotError callbacks — which is where slot-scoped log lines join
+// their `trace=` field from.
+func (l *MarketLoop) SlotTrace() otrace.SpanContext { return l.curTrace }
 
 // validate checks the loop wiring.
 func (l *MarketLoop) validate() error {
@@ -178,17 +193,27 @@ func (l *MarketLoop) validate() error {
 // explicit zero-price, no-grant broadcast (so tenants learn "no spot
 // capacity" immediately instead of waiting out their price timeout) and
 // the failure is recorded.
-func (l *MarketLoop) degrade(slot, bids int, err error) {
+func (l *MarketLoop) degrade(slot, bids int, err error, root *otrace.Span) {
 	l.slotErrors++
+	// Degraded and breaker-open slots are exactly the ones worth a trace:
+	// force the whole slot trace past head sampling (DESIGN §4i).
+	root.ForceSample()
+	root.SetBool("degraded", true)
+	root.SetStr("error", err.Error())
 	if l.Durable != nil {
 		// Degraded slots commit too (with no books delta): recovery must know
 		// the slot was consumed, or a restart would re-run it against a
 		// journal that already recorded the degradation.
+		ws := l.Tracer.StartChild("wal_commit", root)
 		l.Durable.commitSlot(l.Operator, l.Server, slot, nil)
+		ws.End()
 	}
-	l.Server.Broadcast(slot, 0, nil, l.RackID)
+	bs := l.Tracer.StartChild("broadcast", root)
+	l.Server.BroadcastTraced(slot, 0, nil, l.RackID, bs)
+	bs.End()
 	om := l.Operator.Metrics()
 	if errors.Is(err, ErrBreakerOpen) {
+		root.SetBool("breaker_open", true)
 		om.ObserveBreakerOpenSlot()
 	} else {
 		om.ObserveDegradedSlot()
@@ -197,6 +222,7 @@ func (l *MarketLoop) degrade(slot, bids int, err error) {
 	if l.OnSlotError != nil {
 		l.OnSlotError(slot, err)
 	}
+	root.End()
 }
 
 // appendJournal stamps and writes one slot event; a nil Journal is free.
@@ -382,24 +408,32 @@ func (l *MarketLoop) RunSlots(fromSlot, slots int) (int, error) {
 			case <-time.After(wait):
 			}
 		}
+		root := l.Tracer.StartRoot("slot", slot)
+		l.curTrace = root.Context()
+		bd := l.Tracer.StartChild("bid_drain", root)
 		if l.BeforeBids != nil {
 			l.BeforeBids(slot)
 		}
 		// Always drain the slot's bids, even when degraded: collection
 		// advances the acceptance window and prunes the bid map.
 		bids := l.Server.TakeBids(slot)
+		bd.SetInt("bids", int64(len(bids)))
+		bd.End()
+		root.SetInt("bids", int64(len(bids)))
 		if l.tripped {
 			if l.BreakerCooldownSlots == 0 || l.cooldown > 0 {
 				if l.cooldown > 0 {
 					l.cooldown--
 				}
-				l.degrade(slot, len(bids), ErrBreakerOpen)
+				l.degrade(slot, len(bids), ErrBreakerOpen, root)
 				continue
 			}
 			// Half-open: fall through and let this slot probe the market.
 		}
 		rd := l.Reading(slot)
+		l.Operator.SetTraceParent(root)
 		out, err := l.Operator.RunSlot(bids, rd, slotHours)
+		l.Operator.SetTraceParent(nil)
 		if err != nil {
 			l.consecFails++
 			if l.MaxConsecutiveFailures > 0 && l.consecFails >= l.MaxConsecutiveFailures {
@@ -407,7 +441,7 @@ func (l *MarketLoop) RunSlots(fromSlot, slots int) (int, error) {
 				l.cooldown = l.BreakerCooldownSlots
 				l.Operator.Metrics().SetBreakerOpen(true)
 			}
-			l.degrade(slot, len(bids), fmt.Errorf("proto: slot %d: %w", slot, err))
+			l.degrade(slot, len(bids), fmt.Errorf("proto: slot %d: %w", slot, err), root)
 			continue
 		}
 		l.consecFails = 0
@@ -421,25 +455,40 @@ func (l *MarketLoop) RunSlots(fromSlot, slots int) (int, error) {
 			// plans reclamation and applies operator-side budget resets.
 			// Tenant-side resets go out before the price broadcast so a
 			// capping tenant reacts within the same slot.
+			es := l.Tracer.StartChild("emergencies", root)
+			before := l.Operator.EmergencySlots()
 			l.Operator.ObserveEmergencies(rd, l.BreakerTolerance)
+			if l.Operator.EmergencySlots() > before {
+				// Emergency slots are force-sampled: the excursion and its
+				// reclamation are what the trace is for.
+				es.SetBool("emergency", true)
+				root.ForceSample()
+			}
+			es.End()
 			emergencyChecked = true
 		}
 		if l.Durable != nil {
 			// Commit point: the slot's books delta and post-slot responder
 			// state hit the WAL before any tenant hears the outcome, so a
 			// crash on either side of the broadcast recovers consistently.
+			ws := l.Tracer.StartChild("wal_commit", root)
 			if l.Durable.OnCommit != nil {
 				l.Durable.OnCommit(slot, out)
 			}
 			commit := l.Operator.LastSlotCommit(out, slotHours)
 			l.Durable.commitSlot(l.Operator, l.Server, slot, &commit)
+			ws.End()
 		}
+		bs := l.Tracer.StartChild("broadcast", root)
 		if emergencyChecked {
 			if budgets := collectBudgetResets(l.Operator); len(budgets) > 0 {
-				l.Server.BroadcastBudgetReset(slot, budgets)
+				l.Server.BroadcastBudgetResetTraced(slot, budgets, bs)
 			}
 		}
-		l.Server.Broadcast(slot, out.Result.Price, out.Result.Allocations, l.RackID)
+		l.Server.BroadcastTraced(slot, out.Result.Price, out.Result.Allocations, l.RackID, bs)
+		bs.End()
+		root.SetFloat("price", out.Result.Price)
+		root.SetFloat("sold_watts", out.Result.TotalWatts)
 		if l.Journal != nil {
 			grants := 0
 			for _, a := range out.Result.Allocations {
@@ -465,6 +514,7 @@ func (l *MarketLoop) RunSlots(fromSlot, slots int) (int, error) {
 		if l.OnSlot != nil {
 			l.OnSlot(slot, out, len(bids))
 		}
+		root.End()
 		cleared++
 	}
 	return cleared, nil

@@ -88,6 +88,13 @@ type Message struct {
 	Grants []Grant `json:"grants,omitempty"`
 	// Detail carries the error text (error).
 	Detail string `json:"detail,omitempty"`
+	// Trace is the optional traceparent field (otrace.FormatTraceparent):
+	// on price/budget_reset it carries the operator's slot trace for the
+	// tenant to adopt; on bid it carries the tenant's provisional trace
+	// (informational). JSON peers that predate the field ignore it; the
+	// binary framing carries it only on version-2 frames (see binary.go's
+	// negotiation), so old binary peers interoperate unchanged.
+	Trace string `json:"trace,omitempty"`
 }
 
 // MaxLineBytes bounds one wire message; bids are tiny (four parameters per

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"spotdc/internal/core"
+	"spotdc/internal/otrace"
 )
 
 // RackResolver maps wire rack IDs to market rack indices.
@@ -105,6 +106,10 @@ type ServerOptions struct {
 	// bid acceptance/rejection, broadcast outcomes, outbound queueing).
 	// Typically shared with the run's clients and fault injectors.
 	Metrics *Metrics
+	// Tracer, if non-nil, opens one send span per session under each
+	// traced broadcast (BroadcastTraced), timing the enqueue-to-write
+	// path of the fan-out. Wire the MarketLoop's tracer here. Nil is free.
+	Tracer *otrace.Tracer
 	// Logf, if non-nil, receives the server's diagnostics. The default is
 	// silent: protocol noise (reaped sessions, broadcast failures) is
 	// expected operation under churn, so it is surfaced via Metrics and
@@ -190,6 +195,12 @@ type queuedMsg struct {
 	price  float64
 	grants *[]Grant
 	detail string
+	// trace is the preformatted traceparent field stamped onto the wire
+	// message (formatted once per broadcast, not per session); parent is
+	// the broadcast span's context that the per-session send span parents
+	// under. Both zero when the broadcast is untraced.
+	trace  string
+	parent otrace.SpanContext
 }
 
 type session struct {
@@ -556,17 +567,30 @@ func (s *Server) writeLoop(sess *session) {
 // writeOne encodes and sends one queued message, recycling its grant
 // buffer and recording the broadcast outcome.
 func (s *Server) writeOne(sess *session, qm queuedMsg) error {
-	msg := Message{Type: qm.typ, Slot: qm.slot, Price: qm.price, Detail: qm.detail}
+	msg := Message{Type: qm.typ, Slot: qm.slot, Price: qm.price, Detail: qm.detail, Trace: qm.trace}
 	if qm.typ != TypeError {
 		msg.Tenant = sess.tenant
 	}
 	if qm.grants != nil {
 		msg.Grants = *qm.grants
 	}
+	// The send span runs on the writer goroutine, possibly after the
+	// slot's root span already ended; StartRemote follows the trace's
+	// recorded sampling decision, so stragglers still land correctly.
+	var sp *otrace.Span
+	if s.opts.Tracer != nil && qm.parent.Valid() {
+		sp = s.opts.Tracer.StartRemote("send", qm.slot, qm.parent)
+		sp.SetStr("tenant", sess.tenant)
+		sp.SetStr("type", string(qm.typ))
+	}
 	if sess.conn != nil {
 		_ = sess.conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 	}
 	err := sess.codec.Send(msg)
+	if err != nil {
+		sp.SetStr("error", err.Error())
+	}
+	sp.End()
 	s.recycle(qm.grants)
 	if qm.typ == TypePrice || qm.typ == TypeBudgetReset {
 		s.met.broadcast(err == nil)
@@ -620,6 +644,16 @@ func (s *Server) snapshotSessions() []*session {
 // Tenants whose queue is full or whose connection fails are dropped (they
 // fall back to no spot capacity).
 func (s *Server) Broadcast(slot int, price float64, allocs []core.Allocation, rackID func(int) string) {
+	s.BroadcastTraced(slot, price, allocs, rackID, nil)
+}
+
+// BroadcastTraced is Broadcast carrying the slot's trace: parent is the
+// loop's broadcast span. Each price message is stamped with the slot
+// trace's traceparent field (formatted once here) so tenants adopt the
+// operator's trace, and each session's write gets a send span. A nil
+// parent — or a server without a tracer — degrades to plain Broadcast.
+func (s *Server) BroadcastTraced(slot int, price float64, allocs []core.Allocation, rackID func(int) string, parent *otrace.Span) {
+	tp, ctx := s.traceFields(parent)
 	s.bmu.Lock()
 	defer s.bmu.Unlock()
 	// Group grants by tenant into pooled buffers. Map entries persist
@@ -640,7 +674,7 @@ func (s *Server) Broadcast(slot int, price float64, allocs []core.Allocation, ra
 			gb = p
 			s.perTenant[sess.tenant] = nil
 		}
-		s.enqueue(sess, queuedMsg{typ: TypePrice, slot: slot, price: price, grants: gb})
+		s.enqueue(sess, queuedMsg{typ: TypePrice, slot: slot, price: price, grants: gb, trace: tp, parent: ctx})
 	}
 	// Grants for tenants with no live session are released unsent.
 	for _, t := range s.bTenants {
@@ -660,9 +694,16 @@ func (s *Server) Broadcast(slot int, price float64, allocs []core.Allocation, ra
 // and a failed session falls back to the operator-side rack PDU budget,
 // which still enforces the cap.
 func (s *Server) BroadcastBudgetReset(slot int, budgets map[int]float64) {
+	s.BroadcastBudgetResetTraced(slot, budgets, nil)
+}
+
+// BroadcastBudgetResetTraced is BroadcastBudgetReset under the slot's
+// broadcast span (see BroadcastTraced).
+func (s *Server) BroadcastBudgetResetTraced(slot int, budgets map[int]float64, parent *otrace.Span) {
 	if len(budgets) == 0 {
 		return
 	}
+	tp, ctx := s.traceFields(parent)
 	s.bmu.Lock()
 	defer s.bmu.Unlock()
 	for _, sess := range s.snapshotSessions() {
@@ -680,8 +721,19 @@ func (s *Server) BroadcastBudgetReset(slot int, budgets map[int]float64) {
 		if gb == nil {
 			continue
 		}
-		s.enqueue(sess, queuedMsg{typ: TypeBudgetReset, slot: slot, grants: gb})
+		s.enqueue(sess, queuedMsg{typ: TypeBudgetReset, slot: slot, grants: gb, trace: tp, parent: ctx})
 	}
+}
+
+// traceFields derives the queued-message trace fields from a broadcast
+// span: the preformatted traceparent (one allocation per broadcast, not
+// per session) and the parent context for send spans.
+func (s *Server) traceFields(parent *otrace.Span) (string, otrace.SpanContext) {
+	if s.opts.Tracer == nil || parent == nil {
+		return "", otrace.SpanContext{}
+	}
+	ctx := parent.Context()
+	return otrace.FormatTraceparent(ctx), ctx
 }
 
 func (s *Server) acceptBids(sess *session, msg Message) error {

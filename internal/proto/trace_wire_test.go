@@ -1,0 +1,218 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"spotdc/internal/otrace"
+)
+
+// Wire propagation of the trace envelope field (DESIGN §4i): JSON carries
+// it as an omitempty "trace" key old peers ignore; binary carries it only
+// on version-2 frames, negotiated stickily.
+
+func TestJSONTraceRoundTrip(t *testing.T) {
+	tp := otrace.FormatTraceparent(otrace.SpanContext{Trace: 0xabc, Span: 0xdef, Sampled: true})
+	var buf memStream
+	c := NewCodec(&buf)
+	m := Message{Type: TypePrice, Tenant: "acme", Slot: 4, Price: 0.05, Trace: tp}
+	if err := c.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	// Old JSON peers see a plain extra key; untraced messages omit it.
+	raw := buf.String()
+	if !strings.Contains(raw, `"trace":"`+tp+`"`) {
+		t.Fatalf("trace field not on the wire: %s", raw)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != tp {
+		t.Fatalf("Trace = %q, want %q", got.Trace, tp)
+	}
+
+	buf.Reset()
+	if err := c.Send(Message{Type: TypeHeartBeat, Tenant: "acme"}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "trace") {
+		t.Fatalf("untraced message leaked a trace key: %s", buf.String())
+	}
+}
+
+func TestBinaryV1OmitsTrace(t *testing.T) {
+	var buf memStream
+	c := NewBinaryCodec(&buf)
+	m := Message{Type: TypePrice, Tenant: "acme", Slot: 4, Price: 0.05, Trace: "01-00000000000000ab-00000000000000cd-01"}
+	if err := c.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[1]; got != binVersion {
+		t.Fatalf("frame version = %d, want v1 without EnableTrace", got)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != "" {
+		t.Fatalf("v1 frame carried Trace %q", got.Trace)
+	}
+	m.Trace = ""
+	if got := copyMsg(got); !msgEqual(got, m) {
+		t.Fatalf("v1 round trip mismatch:\n sent %+v\n got  %+v", m, got)
+	}
+}
+
+func TestBinaryV2TraceRoundTrip(t *testing.T) {
+	var buf memStream
+	c := NewBinaryCodec(&buf)
+	c.EnableTrace()
+	for _, m := range wireFixtures {
+		m.Trace = "01-00000000000000ab-00000000000000cd-01"
+		if err := c.Send(m); err != nil {
+			t.Fatalf("Send(%+v): %v", m, err)
+		}
+		if got := buf.Bytes()[1]; got != binVersionTrace {
+			t.Fatalf("frame version = %d, want v2", got)
+		}
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatalf("Recv after %+v: %v", m, err)
+		}
+		if got.Trace != m.Trace {
+			t.Fatalf("Trace = %q, want %q", got.Trace, m.Trace)
+		}
+		got.Trace, m.Trace = "", ""
+		if got := copyMsg(got); !msgEqual(got, m) {
+			t.Errorf("v2 round trip mismatch:\n sent %+v\n got  %+v", m, got)
+		}
+	}
+}
+
+func TestBinaryV2EmptyTrace(t *testing.T) {
+	var buf memStream
+	c := NewBinaryCodec(&buf)
+	c.EnableTrace()
+	if err := c.Send(Message{Type: TypeHeartBeat, Tenant: "acme", Slot: 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != "" || got.Tenant != "acme" || got.Slot != 3 {
+		t.Fatalf("v2 empty-trace round trip = %+v", got)
+	}
+}
+
+// TestBinaryStickyV2Negotiation pins the answer-in-kind upgrade: a codec
+// that receives one v2 frame answers v2 for the rest of the session, and a
+// codec that only ever sees v1 stays v1.
+func TestBinaryStickyV2Negotiation(t *testing.T) {
+	var wire memStream
+	client := NewBinaryCodec(&wire)
+	client.EnableTrace()
+	server := NewBinaryCodec(&wire) // shares the buffer: client writes, server reads
+
+	if err := client.Send(Message{Type: TypeHello, Tenant: "acme", Racks: []string{"S-1"}, Trace: "01-00000000000000ab-00000000000000cd-00"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if !server.v2.Load() {
+		t.Fatal("server codec did not upgrade on a v2 frame")
+	}
+	// The server's answers now carry v2 frames (trace delivered downstream).
+	wire.Reset()
+	tp := "01-0000000000000011-0000000000000022-01"
+	if err := server.Send(Message{Type: TypePrice, Tenant: "acme", Slot: 1, Price: 0.02, Trace: tp}); err != nil {
+		t.Fatal(err)
+	}
+	if got := wire.Bytes()[1]; got != binVersionTrace {
+		t.Fatalf("upgraded server sent version %d", got)
+	}
+	got, err := client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != tp {
+		t.Fatalf("client received Trace %q, want %q", got.Trace, tp)
+	}
+
+	// A v1-only exchange never upgrades: old clients see v1 forever.
+	var wire2 memStream
+	old := NewBinaryCodec(&wire2)
+	srv2 := NewBinaryCodec(&wire2)
+	if err := old.Send(Message{Type: TypeHello, Tenant: "legacy"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv2.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	wire2.Reset()
+	if err := srv2.Send(Message{Type: TypePrice, Tenant: "legacy", Slot: 1, Trace: tp}); err != nil {
+		t.Fatal(err)
+	}
+	if got := wire2.Bytes()[1]; got != binVersion {
+		t.Fatalf("v1 session sent version %d frame", got)
+	}
+	gotOld, err := old.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotOld.Trace != "" {
+		t.Fatalf("v1 client received Trace %q", gotOld.Trace)
+	}
+}
+
+// FuzzTraceFieldRoundTrip drives arbitrary trace strings through both
+// encodings: whatever value the envelope carries must survive JSON and a
+// v2 binary frame byte-identically (or error cleanly, never panic).
+func FuzzTraceFieldRoundTrip(f *testing.F) {
+	f.Add("01-00000000000000ab-00000000000000cd-01", "acme", int64(9))
+	f.Add("", "t", int64(-1))
+	f.Add("not-a-traceparent \x00\xff ünïcode", "tenant", int64(1<<40))
+	f.Fuzz(func(t *testing.T, trace, tenant string, slot int64) {
+		m := Message{Type: TypeBid, Tenant: tenant, Slot: int(slot), Trace: trace,
+			Bids: []RackBid{{Rack: "S-1", DMax: 1, QMax: 2}}}
+
+		var jb memStream
+		jc := NewCodec(&jb)
+		if err := jc.Send(m); err != nil {
+			t.Skip() // oversized line; the codec's business, not the fuzz's
+		}
+		jm, err := jc.Recv()
+		if err != nil {
+			t.Fatalf("json Recv: %v", err)
+		}
+		// JSON transcodes invalid UTF-8 to U+FFFD (encoding/json contract);
+		// byte-exactness is only promised for valid UTF-8. Binary promises
+		// it unconditionally, below.
+		if utf8.ValidString(trace) && jm.Trace != trace {
+			t.Fatalf("json Trace = %q, want %q", jm.Trace, trace)
+		}
+
+		var bb memStream
+		bc := NewBinaryCodec(&bb)
+		bc.EnableTrace()
+		if err := bc.Send(m); err != nil {
+			if len(trace) > 1<<16 || len(tenant) > 1<<16 {
+				return // string-field cap; a clean error is the contract
+			}
+			t.Fatalf("binary Send: %v", err)
+		}
+		bm, err := bc.Recv()
+		if err != nil {
+			t.Fatalf("binary Recv: %v", err)
+		}
+		if bm.Trace != trace {
+			t.Fatalf("binary Trace = %q, want %q", bm.Trace, trace)
+		}
+		if bm.Tenant != tenant || bm.Slot != int(slot) {
+			t.Fatalf("binary envelope = %+v, want tenant %q slot %d", bm, tenant, slot)
+		}
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"spotdc/internal/core"
 	"spotdc/internal/metrics"
 	"spotdc/internal/operator"
+	"spotdc/internal/otrace"
 	"spotdc/internal/power"
 	"spotdc/internal/proto"
 	"spotdc/internal/rackpdu"
@@ -104,6 +105,21 @@ type NetRunOptions struct {
 	// NetEmergencyOptions). Nil keeps the networked run bit-identical to a
 	// harness without the emergency subsystem.
 	Emergency *NetEmergencyOptions
+	// Tracer, if non-nil, traces the operator plane: the market loop opens
+	// one root span per slot with children for bid drain, predict, clear,
+	// audit, emergencies, WAL commit, and broadcast (including per-session
+	// send spans). The same tracer is wired into the server and operator.
+	Tracer *otrace.Tracer
+	// TenantTracer, if non-nil, traces every tenant client (bid decision,
+	// submit, await-price) and upgrades their binary sessions to the
+	// trace-carrying v2 framing. Use a separate tracer (and journal) from
+	// the operator's so the two planes' rings don't contend.
+	TenantTracer *otrace.Tracer
+	// Durable, if non-nil, is threaded into the market loop so every
+	// cleared slot commits to the write-ahead log before its broadcast
+	// (see proto.Durable); with Tracer set, the commit is visible as a
+	// wal_commit child span.
+	Durable *proto.Durable
 }
 
 func (o *NetRunOptions) setDefaults() {
@@ -226,6 +242,7 @@ func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
 		Pricing:       sc.Pricing,
 		Predict:       sc.Predict,
 		Metrics:       opMetrics,
+		Tracer:        opts.Tracer,
 	}
 	// With the emergency loop armed, every rack gets an emulated intelligent
 	// PDU: the responder's budget resets land there, and the unit's budget is
@@ -285,6 +302,7 @@ func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
 		OwnerOf:  func(i int) string { return topo.Racks[i].Tenant },
 		WrapConn: bcastInj.Wrap,
 		Metrics:  protoMetrics,
+		Tracer:   opts.Tracer,
 		// Logf stays nil: faults are expected here, the server is quiet by
 		// default, and the metrics above carry the signal.
 	})
@@ -356,6 +374,8 @@ func NetRun(sc Scenario, opts NetRunOptions) (*NetResult, error) {
 		MaxConsecutiveFailures: opts.MaxConsecutiveFailures,
 		BreakerCooldownSlots:   opts.BreakerCooldownSlots,
 		Journal:                opts.Journal,
+		Durable:                opts.Durable,
+		Tracer:                 opts.Tracer,
 		FaultCounts: func() (drops, delays, severs int64) {
 			b, c := bidInj.Stats(), bcastInj.Stats()
 			return b.Drops + c.Drops, b.Delays + c.Delays, b.Severs + c.Severs
@@ -454,6 +474,7 @@ func runNetTenant(a tenant.Agent, topo *power.Topology, addr string, clock *prot
 		Dialer:           inj.Dial,
 		Wire:             wire,
 		Metrics:          pm,
+		Tracer:           opts.TenantTracer,
 	}
 	if opts.Emergency != nil {
 		// Count delivered emergency budget resets; the callback runs on this
@@ -485,7 +506,12 @@ func runNetTenant(a tenant.Agent, topo *power.Topology, addr string, clock *prot
 		if wait := time.Until(clock.StartOf(slot).Add(-slotLen / 2)); wait > 0 {
 			time.Sleep(wait)
 		}
+		bd := opts.TenantTracer.StartChild("bid_decision", client.SlotSpan(slot))
 		bids := netBids(topo, a.PlanBids(slot, tenant.MarketHint{}))
+		if bd != nil {
+			bd.SetInt("bids", int64(len(bids)))
+			bd.End()
+		}
 		if len(bids) > 0 {
 			st.BidSlots++
 			if err := client.SubmitBids(slot, bids); err != nil {

@@ -15,6 +15,7 @@ import (
 	"spotdc/internal/core"
 	"spotdc/internal/metrics"
 	"spotdc/internal/operator"
+	"spotdc/internal/otrace"
 	"spotdc/internal/par"
 	"spotdc/internal/power"
 	"spotdc/internal/stats"
@@ -294,6 +295,10 @@ type RunOptions struct {
 	// against the operator's ledger. Any violation fails the run with a
 	// descriptive error. Overhead is one O(bids) pass per slot.
 	Audit bool
+	// Tracer, if non-nil, opens one root span per simulated slot (ModeSpotDC
+	// only) with the operator's predict/clear/audit children underneath —
+	// the in-process twin of NetRunOptions.Tracer, minus the wire spans.
+	Tracer *otrace.Tracer
 }
 
 // Run simulates the scenario.
@@ -324,6 +329,7 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 		Pricing:       sc.Pricing,
 		Predict:       sc.Predict,
 		Metrics:       opMetrics,
+		Tracer:        opts.Tracer,
 	}
 	var emr *emergencyRunner
 	if sc.Emergency != nil {
@@ -454,7 +460,23 @@ func Run(sc Scenario, opts RunOptions) (*Result, error) {
 				}
 				bids = append(bids, perAgent[i].bids...)
 			}
+			root := opts.Tracer.StartRoot("slot", slot)
+			if root != nil {
+				root.SetInt("bids", int64(len(bids)))
+				op.SetTraceParent(root)
+			}
 			out, err := op.RunSlot(bids, reading, slotHours)
+			if root != nil {
+				op.SetTraceParent(nil)
+				if err != nil {
+					root.ForceSample()
+					root.SetStr("error", err.Error())
+				} else {
+					root.SetFloat("price", out.Result.Price)
+					root.SetFloat("sold_watts", out.Result.TotalWatts)
+				}
+				root.End()
+			}
 			if err != nil {
 				return nil, fmt.Errorf("sim: slot %d: %w", slot, err)
 			}

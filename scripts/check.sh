@@ -32,16 +32,23 @@
 #      binary encoding with an audit replay, plus the mixed-fleet interop
 #      contract — JSON and binary tenants in one market produce the same
 #      journal and metrics as an all-JSON fleet (make smoke-wire)
-#  10. the crash-recovery smoke: the seeded 220-slot networked market is
+#  10. the tracing smoke: the seeded 220-slot networked market traced at
+#      100% sampling must produce exactly one root span per journaled
+#      slot with predict/clear/WAL/broadcast stage coverage, tenant
+#      traces adopted into the operator's over both wire encodings, and
+#      a span journal that converts to valid Chrome trace-event JSON
+#      (make smoke-spans)
+#  11. the crash-recovery smoke: the seeded 220-slot networked market is
 #      killed at randomized slot boundaries — one kill leaving a torn WAL
 #      record, one mid-emergency-suspension — and recovered from the
 #      state directory each time; books, responder state, billing
 #      invoices and the slot journal must come out bit-identical to an
 #      uninterrupted run (make smoke-crash)
-#  11. a one-iteration smoke of the Fig. 7(b) clearing benchmark, which
+#  12. a one-iteration smoke of the Fig. 7(b) clearing benchmark, which
 #      doubles as a regression tripwire for the allocation-free hot loop
 #      (the alloc budgets themselves are enforced by TestClearAllocBudget
-#      and, with instrumentation on, TestClearAllocBudgetInstrumented),
+#      and, with instrumentation or tracing on, by
+#      TestClearAllocBudgetInstrumented and TestClearAllocBudgetTraced),
 #      and of the wire-layer benchmarks (their steady-state alloc budgets
 #      are enforced by TestWireAllocBudget)
 #
@@ -69,6 +76,8 @@ echo '== audit replay: seeded journal through both engines'
 go test -race -count=1 -run 'TestGoldenNetRunJournalReplay' ./internal/audit/
 echo '== smoke: binary wire + mixed-fleet interop'
 go test -race -count=1 -run 'TestSmokeWire|TestMixedFleetInteropMatchesAllJSON' ./internal/sim/
+echo '== smoke: slot-lifecycle tracing + Chrome trace export'
+go test -race -count=1 -run 'TestNetRunSpansMatchFaultSchedule|TestSmokeSpans' ./internal/sim/
 echo '== smoke: crash injection + WAL recovery'
 go test -race -count=1 -run 'TestCrash' ./internal/sim/ ./internal/billing/
 echo '== bench smoke: Fig. 7(b) clearing'

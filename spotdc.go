@@ -53,6 +53,7 @@ import (
 	"spotdc/internal/experiments"
 	"spotdc/internal/metrics"
 	"spotdc/internal/operator"
+	"spotdc/internal/otrace"
 	"spotdc/internal/par"
 	"spotdc/internal/power"
 	"spotdc/internal/proto"
@@ -575,6 +576,70 @@ func ServeMetrics(addr string, r *MetricsRegistry) (boundAddr string, shutdown f
 // MetricsHandler returns the /metrics exposition handler for embedding in
 // an existing HTTP server.
 func MetricsHandler(r *MetricsRegistry) http.Handler { return metrics.Handler(r) }
+
+// MetricsMuxOptions extends the scrape mux: opt-in /debug/pprof/* handlers
+// and extra routes (e.g. the /debug/traces handler below).
+type MetricsMuxOptions = metrics.MuxOptions
+
+// ServeMetricsOpts is ServeMetrics with MetricsMuxOptions.
+func ServeMetricsOpts(addr string, r *MetricsRegistry, o MetricsMuxOptions) (boundAddr string, shutdown func() error, err error) {
+	return metrics.ServeOpts(addr, r, o)
+}
+
+// Distributed tracing (internal/otrace): slot-lifecycle spans across the
+// operator, the wire, and tenant clients, exported as a JSONL span journal
+// and Chrome trace-event JSON (Perfetto/chrome://tracing). Strictly opt-in:
+// a nil *Tracer disables every span site at the cost of one branch. See
+// DESIGN §4i.
+type (
+	// Tracer records spans into a fixed-capacity ring and an optional JSONL
+	// journal. Wire one instance into MarketLoop.Tracer,
+	// MarketServerOptions.Tracer and OperatorConfig.Tracer (operator plane),
+	// or MarketClientOptions.Tracer (tenant plane).
+	Tracer = otrace.Tracer
+	// TracerOptions configures NewTracer: sampling cadence, ring capacity,
+	// journal writer, slow-slot percentile, metrics.
+	TracerOptions = otrace.Options
+	// TracerMetrics exposes the otrace_* metric families (handles for
+	// TracerOptions.Metrics).
+	TracerMetrics = otrace.TracerMetrics
+	// Span is one recorded operation; nil is a valid no-op span.
+	Span = otrace.Span
+	// SpanContext identifies a span for cross-process propagation
+	// (trace/span IDs plus the sampling decision).
+	SpanContext = otrace.SpanContext
+	// SpanRecord is one exported span as written to the JSONL journal.
+	SpanRecord = otrace.SpanRecord
+)
+
+// NewTracer builds a tracer.
+func NewTracer(o TracerOptions) *Tracer { return otrace.NewTracer(o) }
+
+// NewTracerMetrics registers the otrace_* families on r.
+func NewTracerMetrics(r *MetricsRegistry) *TracerMetrics { return otrace.NewTracerMetrics(r) }
+
+// ReadSpans parses a JSONL span journal, tolerating a torn final line.
+func ReadSpans(r io.Reader) ([]SpanRecord, error) { return otrace.ReadSpans(r) }
+
+// WriteChromeTrace renders spans as Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	return otrace.WriteChromeTrace(w, spans)
+}
+
+// ValidateChromeTrace checks that data is well-formed Chrome trace-event
+// JSON as produced by WriteChromeTrace.
+func ValidateChromeTrace(data []byte) error { return otrace.ValidateChromeTrace(data) }
+
+// FormatTraceparent renders a span context as the wire traceparent field.
+func FormatTraceparent(sc SpanContext) string { return otrace.FormatTraceparent(sc) }
+
+// ParseTraceparent parses a wire traceparent field.
+func ParseTraceparent(s string) (SpanContext, error) { return otrace.ParseTraceparent(s) }
+
+// TraceHandler serves the tracer's ring as JSON (mount at /debug/traces;
+// filter with ?slot=N).
+func TraceHandler(t *Tracer) http.Handler { return otrace.TraceHandler(t) }
 
 // Durable operator state (internal/wal + internal/proto): an append-only
 // segmented write-ahead log with periodic snapshots, and crash recovery
